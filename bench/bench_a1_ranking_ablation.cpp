@@ -1,0 +1,96 @@
+// Ablation A1: how the ranking (Section 2.2) shapes the MIS/WCDS.
+//
+// Compares the paper's two rankings (ID for Algorithm II, level-based for
+// Algorithm I) against the dynamic (degree, ID) ranking it mentions:
+// MIS size, complementary-subset separation, and spanner size.
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "bench_support/table.h"
+#include "graph/spanning_tree.h"
+#include "graph/subgraph.h"
+#include "mis/mis.h"
+#include "mis/properties.h"
+#include "mis/ranking.h"
+
+namespace {
+
+using namespace wcds;
+
+void print_tables() {
+  bench::banner(std::cout,
+                "A1: ranking ablation (n = 600, mean of 5 seeds)");
+  bench::Table table({"ranking", "deg", "MIS size", "worst subset sep",
+                      "spanner E'", "sep==2 always"});
+  for (const int ranking : {0, 1, 2, 3}) {
+    for (const double deg : {8.0, 16.0}) {
+      std::vector<double> sizes, edges;
+      HopCount worst_sep = 0;
+      bool always_two = true;
+      for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const auto inst = bench::connected_instance(600, deg, seed);
+        mis::MisResult mis;
+        switch (ranking) {
+          case 0:
+            mis = mis::greedy_mis_by_id(inst.g);
+            break;
+          case 1:
+            mis = mis::greedy_mis(
+                inst.g, mis::level_ranking(graph::bfs_tree(inst.g, 0)));
+            break;
+          case 2:
+            mis = mis::greedy_mis(inst.g, mis::degree_ranking(inst.g));
+            break;
+          default:
+            mis = mis::greedy_mis_max_degree(inst.g);
+            break;
+        }
+        sizes.push_back(static_cast<double>(mis.size()));
+        const auto sep = mis::max_complementary_subset_distance(inst.g, mis);
+        worst_sep = std::max(worst_sep, sep);
+        if (sep > 2) always_two = false;
+        const auto spanner = graph::weakly_induced_subgraph(inst.g, mis.mask);
+        edges.push_back(static_cast<double>(spanner.edge_count()));
+      }
+      const char* name = ranking == 0   ? "id (alg2)"
+                         : ranking == 1 ? "level (alg1)"
+                         : ranking == 2 ? "static degree"
+                                        : "dyn max-degree";
+      table.add_row({name, bench::fmt(deg, 0),
+                     bench::fmt(bench::summarize(sizes).mean, 1),
+                     bench::fmt_count(worst_sep),
+                     bench::fmt(bench::summarize(edges).mean, 0),
+                     always_two ? "yes" : "no"});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: rankings land within ~20% of each other "
+               "on MIS size (the\ndegree-aware greedies are smallest, "
+               "level-based slightly largest); only the\nlevel-based ranking "
+               "guarantees 2-hop subset separation (Theorem 4), which is\n"
+               "why Algorithm I needs no additional dominators while ID "
+               "ranking does.\n";
+}
+
+void BM_GreedyMisById(benchmark::State& state) {
+  const auto inst = bench::connected_instance(
+      static_cast<std::uint32_t>(state.range(0)), 12.0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mis::greedy_mis_by_id(inst.g));
+  }
+}
+BENCHMARK(BM_GreedyMisById)->Arg(1000)->Arg(4000);
+
+void BM_GreedyMisMaxDegree(benchmark::State& state) {
+  const auto inst = bench::connected_instance(
+      static_cast<std::uint32_t>(state.range(0)), 12.0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mis::greedy_mis_max_degree(inst.g));
+  }
+}
+BENCHMARK(BM_GreedyMisMaxDegree)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+WCDS_BENCH_MAIN(print_tables)

@@ -1,0 +1,89 @@
+// Ablation A3: synchronous unit delays vs asynchronous random delays.
+//
+// The paper analyzes both algorithms in the synchronous unit-delay model but
+// the protocols are event-driven.  This ablation verifies the claims survive
+// asynchrony and quantifies the cost:
+//  * Algorithm I: the flood tree degenerates from BFS to an arbitrary
+//    spanning tree (deeper levels), but the WCDS stays valid — the paper's
+//    "arbitrary spanning tree" generality.
+//  * Algorithm II: the MIS is bit-for-bit identical (timing-independent
+//    fixpoint); only the additional-dominator choices drift.
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "bench_support/table.h"
+#include "mis/mis.h"
+#include "mis/properties.h"
+#include "protocols/algorithm1_protocol.h"
+#include "protocols/algorithm2_protocol.h"
+#include "wcds/verify.h"
+
+namespace {
+
+using namespace wcds;
+
+void print_tables() {
+  bench::banner(std::cout,
+                "A3: synchronous vs asynchronous delivery (n = 400, deg = 10, "
+                "5 seeds)");
+  bench::Table table({"algorithm", "delay model", "|U| mean", "tree depth",
+                      "msgs mean", "time mean", "valid WCDS", "same MIS"});
+
+  for (const bool async : {false, true}) {
+    std::vector<double> u1, u2, m1, m2, t1, t2, depth1;
+    bool all_valid = true;
+    bool same_mis = true;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto inst = bench::connected_instance(400, 10.0, seed);
+      const auto delays = async
+                              ? sim::DelayModel::uniform(1, 8, seed * 13 + 1)
+                              : sim::DelayModel::unit();
+      const auto run1 = protocols::run_algorithm1(inst.g, delays);
+      const auto run2 = protocols::run_algorithm2(inst.g, delays);
+      u1.push_back(static_cast<double>(run1.wcds.size()));
+      u2.push_back(static_cast<double>(run2.wcds.size()));
+      m1.push_back(static_cast<double>(run1.stats.transmissions));
+      m2.push_back(static_cast<double>(run2.stats.transmissions));
+      t1.push_back(static_cast<double>(run1.stats.completion_time));
+      t2.push_back(static_cast<double>(run2.stats.completion_time));
+      std::uint32_t depth = 0;
+      for (const auto l : run1.levels) depth = std::max(depth, l);
+      depth1.push_back(static_cast<double>(depth));
+      all_valid = all_valid && core::is_wcds(inst.g, run1.wcds.mask) &&
+                  core::is_wcds(inst.g, run2.wcds.mask);
+      const auto sync_mis = protocols::run_algorithm2(inst.g);
+      same_mis =
+          same_mis && run2.wcds.mis_dominators == sync_mis.wcds.mis_dominators;
+    }
+    const char* model = async ? "uniform(1,8)" : "unit";
+    table.add_row({"alg1", model, bench::fmt(bench::summarize(u1).mean, 1),
+                   bench::fmt(bench::summarize(depth1).mean, 1),
+                   bench::fmt(bench::summarize(m1).mean, 0),
+                   bench::fmt(bench::summarize(t1).mean, 0),
+                   all_valid ? "yes" : "NO", "-"});
+    table.add_row({"alg2", model, bench::fmt(bench::summarize(u2).mean, 1),
+                   "-", bench::fmt(bench::summarize(m2).mean, 0),
+                   bench::fmt(bench::summarize(t2).mean, 0),
+                   all_valid ? "yes" : "NO", same_mis ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: asynchrony deepens Algorithm I's tree and "
+               "stretches\ncompletion time by roughly the mean delay factor, "
+               "but every run stays a\nvalid WCDS and Algorithm II's MIS is "
+               "identical to the synchronous one.\n";
+}
+
+void BM_Algorithm2Async(benchmark::State& state) {
+  const auto inst = bench::connected_instance(400, 10.0, 1);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocols::run_algorithm2(
+        inst.g, sim::DelayModel::uniform(1, 8, ++seed)));
+  }
+}
+BENCHMARK(BM_Algorithm2Async);
+
+}  // namespace
+
+WCDS_BENCH_MAIN(print_tables)

@@ -1,0 +1,78 @@
+// Shared plumbing for the experiment binaries (see DESIGN.md section 3).
+//
+// Every bench binary prints its reproduction table(s) first — those rows are
+// what EXPERIMENTS.md records — then runs any registered google-benchmark
+// timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <iostream>
+#include <stdexcept>
+#include <vector>
+
+#include "bench_support/stats.h"
+#include "bench_support/table.h"
+#include "geom/point.h"
+#include "geom/workload.h"
+#include "graph/bfs.h"
+#include "graph/graph.h"
+#include "udg/udg.h"
+
+namespace wcds::bench {
+
+struct Instance {
+  std::vector<geom::Point> points;
+  graph::Graph g;
+};
+
+// A connected uniform-square UDG with the requested expected degree; the
+// area shrinks 1% per failed attempt so near-threshold densities terminate.
+inline Instance connected_instance(std::uint32_t count, double expected_degree,
+                                   std::uint64_t seed) {
+  double side = geom::side_for_expected_degree(count, expected_degree);
+  for (std::uint64_t attempt = 0; attempt < 256; ++attempt) {
+    Instance inst;
+    inst.points = geom::uniform_square(count, side, seed + attempt);
+    inst.g = udg::build_udg(inst.points);
+    if (graph::is_connected(inst.g)) return inst;
+    side *= 0.99;
+  }
+  throw std::runtime_error("connected_instance: density too low");
+}
+
+inline Instance connected_instance_of(geom::WorkloadKind kind,
+                                      std::uint32_t count, double side,
+                                      std::uint64_t seed) {
+  geom::WorkloadParams params;
+  params.kind = kind;
+  params.count = count;
+  params.side = side;
+  params.seed = seed;
+  for (std::uint64_t attempt = 0; attempt < 256; ++attempt) {
+    Instance inst;
+    params.seed = seed + attempt;
+    inst.points = geom::generate(params);
+    inst.g = udg::build_udg(inst.points);
+    if (graph::is_connected(inst.g)) return inst;
+    params.side *= 0.99;
+  }
+  throw std::runtime_error("connected_instance_of: density too low");
+}
+
+// Standard main body: reproduction tables first, then timings.
+// Usage:  WCDS_BENCH_MAIN(print_experiment_tables)
+#define WCDS_BENCH_MAIN(print_tables_fn)                         \
+  int main(int argc, char** argv) {                              \
+    print_tables_fn();                                           \
+    ::benchmark::Initialize(&argc, argv);                        \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
+      return 1;                                                  \
+    }                                                            \
+    ::benchmark::RunSpecifiedBenchmarks();                       \
+    ::benchmark::Shutdown();                                     \
+    return 0;                                                    \
+  }
+
+}  // namespace wcds::bench

@@ -1,0 +1,85 @@
+// Experiment F1 (paper Figure 1): the unit-disk-graph model.
+//
+// Reproduces the UDG construction across workload families and densities:
+// edge counts, degree statistics, component structure, and grid-builder vs
+// O(n^2)-reference equivalence.  Timings: grid vs reference construction.
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "bench_support/table.h"
+
+namespace {
+
+using namespace wcds;
+
+void print_tables() {
+  bench::banner(std::cout,
+                "F1: unit-disk graph construction (paper Fig. 1 model)");
+
+  bench::Table per_kind({"workload", "n", "side", "edges", "avg deg",
+                         "max deg", "components"});
+  for (const auto kind :
+       {geom::WorkloadKind::kUniform, geom::WorkloadKind::kClustered,
+        geom::WorkloadKind::kPerturbedGrid, geom::WorkloadKind::kCorridor,
+        geom::WorkloadKind::kRing}) {
+    geom::WorkloadParams params;
+    params.kind = kind;
+    params.count = 1000;
+    params.side = 14.0;
+    params.seed = 1;
+    const auto pts = geom::generate(params);
+    const auto g = udg::build_udg(pts);
+    const auto stats = udg::analyze(g);
+    per_kind.add_row({geom::to_string(kind), std::to_string(params.count),
+                      bench::fmt(params.side, 1),
+                      bench::fmt_count(stats.edges),
+                      bench::fmt(stats.average_degree, 2),
+                      bench::fmt_count(stats.max_degree),
+                      bench::fmt_count(stats.components)});
+  }
+  per_kind.print(std::cout);
+
+  bench::banner(std::cout, "F1: edge growth with density (n = 1000, uniform)");
+  bench::Table density({"target deg", "edges", "measured avg deg",
+                        "grid == reference"});
+  for (const double target : {4.0, 8.0, 16.0, 32.0}) {
+    const double side = geom::side_for_expected_degree(1000, target);
+    const auto pts = geom::uniform_square(1000, side, 2);
+    const auto grid = udg::build_udg(pts);
+    const auto ref = udg::build_udg_reference(pts);
+    density.add_row({bench::fmt(target, 0), bench::fmt_count(grid.edge_count()),
+                     bench::fmt(grid.average_degree(), 2),
+                     grid.edges() == ref.edges() ? "yes" : "NO"});
+  }
+  density.print(std::cout);
+  std::cout << "\nExpected shape: edges grow linearly with target degree at "
+               "fixed n;\nthe grid builder matches the O(n^2) reference "
+               "exactly.\n";
+}
+
+void BM_BuildUdgGrid(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto pts =
+      geom::uniform_square(n, geom::side_for_expected_degree(n, 12.0), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(udg::build_udg(pts));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BuildUdgGrid)->Arg(1000)->Arg(4000)->Arg(16000)->Complexity();
+
+void BM_BuildUdgReference(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto pts =
+      geom::uniform_square(n, geom::side_for_expected_degree(n, 12.0), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(udg::build_udg_reference(pts));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BuildUdgReference)->Arg(1000)->Arg(2000)->Arg(4000)->Complexity();
+
+}  // namespace
+
+WCDS_BENCH_MAIN(print_tables)

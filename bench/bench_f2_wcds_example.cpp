@@ -1,0 +1,84 @@
+// Experiment F2 (paper Figure 2): a WCDS and its weakly induced subgraph.
+//
+// Rebuilds the paper's 9-node illustration — vertices 1 and 2 are the WCDS,
+// the black edges (all edges incident to {1,2}) form the weakly induced,
+// connected subgraph — and then shows the same classification on a random
+// deployment.
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "bench_support/table.h"
+#include "wcds/algorithm2.h"
+#include "wcds/verify.h"
+
+namespace {
+
+using namespace wcds;
+
+graph::Graph figure2_graph() {
+  return graph::from_edges(9, {{1, 2},
+                               {1, 3},
+                               {1, 4},
+                               {1, 5},
+                               {2, 6},
+                               {2, 7},
+                               {2, 8},
+                               {1, 0},
+                               {2, 0}});
+}
+
+void print_tables() {
+  bench::banner(std::cout, "F2: WCDS and weakly induced subgraph (Fig. 2)");
+  const auto g = figure2_graph();
+  std::vector<bool> s(9, false);
+  s[1] = s[2] = true;
+
+  bench::Table fig({"property", "value"});
+  fig.add_row({"nodes", "9"});
+  fig.add_row({"edges", bench::fmt_count(g.edge_count())});
+  fig.add_row({"WCDS", "{1, 2}"});
+  fig.add_row({"dominating", core::is_dominating(g, s) ? "yes" : "NO"});
+  fig.add_row(
+      {"weakly connected", core::is_weakly_connected(g, s) ? "yes" : "NO"});
+  const auto weak = graph::weakly_induced_subgraph(g, s);
+  fig.add_row({"black edges", bench::fmt_count(weak.edge_count())});
+  fig.add_row({"white edges",
+               bench::fmt_count(g.edge_count() - weak.edge_count())});
+  fig.print(std::cout);
+
+  bench::banner(std::cout, "F2: edge classification on random deployments");
+  bench::Table rnd({"n", "deg", "UDG edges", "black edges", "white edges",
+                    "|U|", "is WCDS"});
+  for (const std::uint32_t n : {200u, 500u, 1000u}) {
+    for (const double deg : {8.0, 16.0}) {
+      const auto inst = bench::connected_instance(n, deg, 1);
+      const auto out = core::algorithm2(inst.g);
+      const auto spanner = core::extract_spanner(inst.g, out.result);
+      rnd.add_row({std::to_string(n), bench::fmt(deg, 0),
+                   bench::fmt_count(inst.g.edge_count()),
+                   bench::fmt_count(spanner.edge_count()),
+                   bench::fmt_count(inst.g.edge_count() - spanner.edge_count()),
+                   bench::fmt_count(out.result.size()),
+                   core::is_wcds(inst.g, out.result.mask) ? "yes" : "NO"});
+    }
+  }
+  rnd.print(std::cout);
+  std::cout << "\nExpected shape: every instance verifies as a WCDS; white "
+               "(non-backbone)\nedges grow with density while black edges "
+               "stay near-linear in n.\n";
+}
+
+void BM_Algorithm2EndToEnd(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto inst = bench::connected_instance(n, 12.0, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::algorithm2(inst.g));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Algorithm2EndToEnd)->Arg(500)->Arg(1000)->Arg(2000)->Complexity();
+
+}  // namespace
+
+WCDS_BENCH_MAIN(print_tables)

@@ -1,0 +1,72 @@
+// Experiment F6 (paper Figure 6): level-based ranking — the spanning tree,
+// its level assignment, and the rank order they induce.
+//
+// Reproduces the distributed pipeline: leader election -> BFS levels ->
+// (level, ID) ranks, and reports the level histogram plus consistency of
+// the distributed levels with centralized BFS distances.
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "bench_support/table.h"
+#include "graph/spanning_tree.h"
+#include "protocols/algorithm1_protocol.h"
+
+namespace {
+
+using namespace wcds;
+
+void print_tables() {
+  bench::banner(std::cout, "F6: level-based ranking via spanning tree");
+
+  bench::Table table({"n", "deg", "leader", "tree depth", "mean level",
+                      "levels == BFS dist"});
+  for (const std::uint32_t n : {200u, 500u, 1000u}) {
+    for (const double deg : {8.0, 16.0}) {
+      const auto inst = bench::connected_instance(n, deg, 3);
+      const auto run = protocols::run_algorithm1(inst.g);
+      const auto dist = graph::bfs_distances(inst.g, run.leader);
+      bool match = true;
+      double level_sum = 0.0;
+      HopCount depth = 0;
+      for (NodeId u = 0; u < n; ++u) {
+        if (run.levels[u] != dist[u]) match = false;
+        level_sum += run.levels[u];
+        depth = std::max(depth, run.levels[u]);
+      }
+      table.add_row({std::to_string(n), bench::fmt(deg, 0),
+                     std::to_string(run.leader), bench::fmt_count(depth),
+                     bench::fmt(level_sum / n, 2), match ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+
+  bench::banner(std::cout, "F6: level histogram (n = 500, deg = 10, seed 3)");
+  const auto inst = bench::connected_instance(500, 10.0, 3);
+  const auto run = protocols::run_algorithm1(inst.g);
+  HopCount depth = 0;
+  for (const auto l : run.levels) depth = std::max(depth, l);
+  std::vector<std::size_t> histogram(depth + 1, 0);
+  for (const auto l : run.levels) ++histogram[l];
+  bench::Table hist({"level", "nodes"});
+  for (HopCount l = 0; l <= depth; ++l) {
+    hist.add_row({std::to_string(l), bench::fmt_count(histogram[l])});
+  }
+  hist.print(std::cout);
+  std::cout << "\nExpected shape: the distributed flood's levels equal BFS "
+               "hop distances\nfrom the elected (minimum-ID) leader; the "
+               "histogram peaks near depth/2.\n";
+}
+
+void BM_DistributedLevels(benchmark::State& state) {
+  const auto inst = bench::connected_instance(
+      static_cast<std::uint32_t>(state.range(0)), 10.0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocols::run_algorithm1(inst.g));
+  }
+}
+BENCHMARK(BM_DistributedLevels)->Arg(200)->Arg(500);
+
+}  // namespace
+
+WCDS_BENCH_MAIN(print_tables)

@@ -1,0 +1,118 @@
+// Experiment T1 (Lemma 7 + Theorem 10): WCDS sizes and measured
+// approximation ratios.
+//
+// Small instances: exact branch-and-bound optimum `opt`; report each
+// construction's size and measured ratio against the proven ceilings
+// (5 for Algorithm I, 240 for Algorithm II's worst-case arithmetic).
+// Large instances: the UDG lower bound ceil(|MIS|/5) replaces `opt`.
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "baselines/exact.h"
+#include "baselines/greedy_cds.h"
+#include "baselines/greedy_wcds.h"
+#include "baselines/mis_tree_cds.h"
+#include "bench_support/table.h"
+#include "mis/mis.h"
+#include "wcds/algorithm1.h"
+#include "wcds/algorithm2.h"
+
+namespace {
+
+using namespace wcds;
+
+void print_tables() {
+  bench::banner(std::cout,
+                "T1a: small instances vs exact optimum (proven: alg1 <= 5*opt)");
+  bench::Table small({"n", "seed", "opt(WCDS)", "opt(CDS)", "alg1", "alg2",
+                      "greedyW", "greedyC", "misCDS", "alg1/opt", "alg2/opt"});
+  std::vector<double> r1s, r2s;
+  for (const std::uint32_t n : {14u, 18u, 22u}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const auto inst = bench::connected_instance(n, 5.0, seed);
+      const auto exact_w = baselines::exact_min_wcds(inst.g);
+      const auto exact_c = baselines::exact_min_cds(inst.g);
+      if (!exact_w || !exact_c || !exact_w->proven_optimal) continue;
+      const auto a1 = core::algorithm1(inst.g);
+      const auto a2 = core::algorithm2(inst.g);
+      const auto gw = baselines::greedy_wcds(inst.g);
+      const auto gc = baselines::greedy_cds(inst.g);
+      const auto mc = baselines::mis_tree_cds(inst.g);
+      const double opt = static_cast<double>(exact_w->members.size());
+      const double r1 = static_cast<double>(a1.size()) / opt;
+      const double r2 = static_cast<double>(a2.result.size()) / opt;
+      r1s.push_back(r1);
+      r2s.push_back(r2);
+      small.add_row({std::to_string(n), std::to_string(seed),
+                     bench::fmt_count(exact_w->members.size()),
+                     bench::fmt_count(exact_c->members.size()),
+                     bench::fmt_count(a1.size()),
+                     bench::fmt_count(a2.result.size()),
+                     bench::fmt_count(gw.size()), bench::fmt_count(gc.size()),
+                     bench::fmt_count(mc.size()), bench::fmt_ratio(r1),
+                     bench::fmt_ratio(r2)});
+    }
+  }
+  small.print(std::cout);
+  const auto s1 = bench::summarize(r1s);
+  const auto s2 = bench::summarize(r2s);
+  std::cout << "alg1/opt: mean " << bench::fmt_ratio(s1.mean) << ", max "
+            << bench::fmt_ratio(s1.max) << "  (proven ceiling 5)\n"
+            << "alg2/opt: mean " << bench::fmt_ratio(s2.mean) << ", max "
+            << bench::fmt_ratio(s2.max) << "  (proven ceiling 240)\n";
+
+  bench::banner(std::cout,
+                "T1b: large instances vs the ceil(|MIS|/5) lower bound");
+  bench::Table large({"n", "deg", "lower bnd", "alg1", "alg2", "greedyW",
+                      "greedyC", "misCDS", "alg1/lb", "alg2/lb"});
+  for (const std::uint32_t n : {300u, 1000u}) {
+    for (const double deg : {8.0, 16.0, 32.0}) {
+      const auto inst = bench::connected_instance(n, deg, 2);
+      const auto a1 = core::algorithm1(inst.g);
+      const auto a2 = core::algorithm2(inst.g);
+      const auto gw = baselines::greedy_wcds(inst.g);
+      const auto gc = baselines::greedy_cds(inst.g);
+      const auto mc = baselines::mis_tree_cds(inst.g);
+      const auto mis = mis::greedy_mis_by_id(inst.g);
+      const auto lb = baselines::udg_mwcds_lower_bound(mis.size());
+      large.add_row(
+          {std::to_string(n), bench::fmt(deg, 0), bench::fmt_count(lb),
+           bench::fmt_count(a1.size()), bench::fmt_count(a2.result.size()),
+           bench::fmt_count(gw.size()), bench::fmt_count(gc.size()),
+           bench::fmt_count(mc.size()),
+           bench::fmt_ratio(static_cast<double>(a1.size()) /
+                            static_cast<double>(lb)),
+           bench::fmt_ratio(static_cast<double>(a2.result.size()) /
+                            static_cast<double>(lb))});
+    }
+  }
+  large.print(std::cout);
+  std::cout << "\nExpected shape: Algorithm I stays within ~1.2-2.5x of opt "
+               "(far under the\nproven 5), Algorithm II pays a constant "
+               "factor more for its bridges (far\nunder 240), the greedy "
+               "baseline is smallest, and greedy-CDS is largest\namong the "
+               "dominating-set constructions at low density.\n";
+}
+
+void BM_ExactMwcds(benchmark::State& state) {
+  const auto inst = bench::connected_instance(
+      static_cast<std::uint32_t>(state.range(0)), 5.0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::exact_min_wcds(inst.g));
+  }
+}
+BENCHMARK(BM_ExactMwcds)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_GreedyWcds(benchmark::State& state) {
+  const auto inst = bench::connected_instance(
+      static_cast<std::uint32_t>(state.range(0)), 12.0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::greedy_wcds(inst.g));
+  }
+}
+BENCHMARK(BM_GreedyWcds)->Arg(500)->Arg(1000);
+
+}  // namespace
+
+WCDS_BENCH_MAIN(print_tables)

@@ -1,0 +1,89 @@
+// Experiment T4 (Theorem 12 + Section 4.1): distributed message and time
+// complexity.
+//
+// Algorithm I: O(n) time, O(n log n) messages (leader election dominates).
+// Algorithm II: O(n) time, O(n) messages (fully localized).
+// The table reports measured transmissions, transmissions/n, and
+// transmissions/(n log2 n), whose trends expose the asymptotic shape.
+#include "bench_common.h"
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_support/table.h"
+#include "protocols/algorithm1_protocol.h"
+#include "protocols/algorithm2_protocol.h"
+
+namespace {
+
+using namespace wcds;
+
+void print_tables() {
+  bench::banner(std::cout, "T4a: message complexity vs n (deg = 10, 3 seeds)");
+  bench::Table table({"n", "alg", "msgs", "msgs/n", "msgs/(n lg n)", "time"});
+  for (const std::uint32_t n : {125u, 250u, 500u, 1000u, 2000u}) {
+    double m1 = 0, m2 = 0, t1 = 0, t2 = 0;
+    const int kSeeds = 3;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const auto inst = bench::connected_instance(n, 10.0, seed);
+      const auto run1 = protocols::run_algorithm1(inst.g);
+      const auto run2 = protocols::run_algorithm2(inst.g);
+      m1 += static_cast<double>(run1.stats.transmissions) / kSeeds;
+      m2 += static_cast<double>(run2.stats.transmissions) / kSeeds;
+      t1 += static_cast<double>(run1.stats.completion_time) / kSeeds;
+      t2 += static_cast<double>(run2.stats.completion_time) / kSeeds;
+    }
+    const double lg = std::log2(static_cast<double>(n));
+    table.add_row({std::to_string(n), "alg1", bench::fmt(m1, 0),
+                   bench::fmt(m1 / n, 2), bench::fmt(m1 / (n * lg), 3),
+                   bench::fmt(t1, 0)});
+    table.add_row({std::to_string(n), "alg2", bench::fmt(m2, 0),
+                   bench::fmt(m2 / n, 2), bench::fmt(m2 / (n * lg), 3),
+                   bench::fmt(t2, 0)});
+  }
+  table.print(std::cout);
+
+  bench::banner(std::cout, "T4b: per-message-type breakdown (n = 1000)");
+  const auto inst = bench::connected_instance(1000, 10.0, 1);
+  const auto run1 = protocols::run_algorithm1(inst.g);
+  const auto run2 = protocols::run_algorithm2(inst.g);
+  bench::Table breakdown({"algorithm", "message", "count"});
+  for (const auto& [type, count] : run1.stats.per_type) {
+    breakdown.add_row({"alg1", protocols::algorithm1_message_name(type),
+                       bench::fmt_count(count)});
+  }
+  for (const auto& [type, count] : run2.stats.per_type) {
+    breakdown.add_row({"alg2", protocols::algorithm2_message_name(type),
+                       bench::fmt_count(count)});
+  }
+  breakdown.print(std::cout);
+  std::cout << "\nExpected shape: alg2's msgs/n is flat (O(n) messages; "
+               "Theorem 12); alg1's\nmsgs/n grows slowly while "
+               "msgs/(n lg n) is roughly flat (leader election's\nO(n log "
+               "n)); both completion times grow with network diameter "
+               "~sqrt(n).\n";
+}
+
+void BM_DistributedAlgorithm1(benchmark::State& state) {
+  const auto inst = bench::connected_instance(
+      static_cast<std::uint32_t>(state.range(0)), 10.0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocols::run_algorithm1(inst.g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DistributedAlgorithm1)->Arg(250)->Arg(500)->Arg(1000)->Complexity();
+
+void BM_DistributedAlgorithm2(benchmark::State& state) {
+  const auto inst = bench::connected_instance(
+      static_cast<std::uint32_t>(state.range(0)), 10.0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocols::run_algorithm2(inst.g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DistributedAlgorithm2)->Arg(250)->Arg(500)->Arg(1000)->Complexity();
+
+}  // namespace
+
+WCDS_BENCH_MAIN(print_tables)

@@ -1,0 +1,94 @@
+// Experiment T5 (Section 4.2): clusterhead routing over the spanner —
+// delivery, stretch against shortest paths, and routing-state footprint.
+#include "bench_common.h"
+
+#include <iostream>
+
+#include "bench_support/table.h"
+#include "geom/rng.h"
+#include "routing/clusterhead_routing.h"
+#include "wcds/algorithm2.h"
+
+namespace {
+
+using namespace wcds;
+
+void print_tables() {
+  bench::banner(std::cout,
+                "T5: clusterhead routing (1000 random pairs per row)");
+  bench::Table table({"n", "deg", "heads", "overlay E", "delivered",
+                      "mean stretch", "worst stretch", "table entries"});
+  for (const std::uint32_t n : {300u, 600u, 1200u}) {
+    for (const double deg : {8.0, 16.0}) {
+      const auto inst = bench::connected_instance(n, deg, 1);
+      const auto out = core::algorithm2(inst.g);
+      const routing::ClusterheadRouter router(inst.g, out);
+      geom::Xoshiro256ss rng(42);
+      std::size_t delivered = 0;
+      std::size_t attempted = 0;
+      std::size_t hops = 0;
+      std::size_t optimal = 0;
+      double worst = 0.0;
+      for (int i = 0; i < 1000; ++i) {
+        const auto src = static_cast<NodeId>(rng.next_below(n));
+        const auto dst = static_cast<NodeId>(rng.next_below(n));
+        if (src == dst) continue;
+        ++attempted;
+        const auto route = router.route(src, dst);
+        if (!route.delivered) continue;
+        ++delivered;
+        const auto opt = graph::hop_distance(inst.g, src, dst);
+        hops += route.hops();
+        optimal += opt;
+        if (opt > 0) {
+          worst = std::max(worst, static_cast<double>(route.hops()) /
+                                      static_cast<double>(opt));
+        }
+      }
+      table.add_row(
+          {std::to_string(n), bench::fmt(deg, 0),
+           bench::fmt_count(router.clusterhead_count()),
+           bench::fmt_count(router.overlay_edge_count()),
+           bench::fmt(100.0 * static_cast<double>(delivered) /
+                          static_cast<double>(attempted),
+                      1) + "%",
+           bench::fmt_ratio(static_cast<double>(hops) /
+                            static_cast<double>(optimal)),
+           bench::fmt_ratio(worst),
+           bench::fmt_count(router.table_entries())});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: 100% delivery; mean stretch ~1.2-1.5 and "
+               "worst stretch\nbounded by the Theorem 11 envelope plus the "
+               "two clusterhead detour hops;\nrouting state lives only at "
+               "the |S| clusterheads (|S|^2 entries total),\nnot at all n "
+               "nodes.\n";
+}
+
+void BM_RouterConstruction(benchmark::State& state) {
+  const auto inst = bench::connected_instance(
+      static_cast<std::uint32_t>(state.range(0)), 12.0, 1);
+  const auto out = core::algorithm2(inst.g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::ClusterheadRouter(inst.g, out));
+  }
+}
+BENCHMARK(BM_RouterConstruction)->Arg(300)->Arg(1200);
+
+void BM_RouteSinglePacket(benchmark::State& state) {
+  const auto inst = bench::connected_instance(600, 12.0, 1);
+  const auto out = core::algorithm2(inst.g);
+  const routing::ClusterheadRouter router(inst.g, out);
+  geom::Xoshiro256ss rng(7);
+  for (auto _ : state) {
+    const auto src = static_cast<NodeId>(rng.next_below(600));
+    const auto dst = static_cast<NodeId>(rng.next_below(600));
+    benchmark::DoNotOptimize(router.route(src, dst));
+  }
+}
+BENCHMARK(BM_RouteSinglePacket);
+
+}  // namespace
+
+WCDS_BENCH_MAIN(print_tables)

@@ -1,0 +1,64 @@
+// Backbone broadcast: the paper's core motivation — disseminating a message
+// over the WCDS virtual backbone instead of blind flooding reduces the
+// number of transmissions to roughly the relay-structure size.
+//
+// Scenario: a sensor field disseminates an alarm network-wide.  We build the
+// Algorithm II backbone, derive the broadcast relay set (backbone + one
+// gateway per two-hop backbone pair; see src/broadcast), and compare against
+// blind flooding where every node retransmits once.  Both reach everyone.
+//
+//   $ ./backbone_broadcast [node_count] [expected_degree] [seed]
+#include <iostream>
+#include <string>
+
+#include "broadcast/backbone_broadcast.h"
+#include "geom/workload.h"
+#include "graph/bfs.h"
+#include "udg/udg.h"
+#include "wcds/algorithm2.h"
+
+int main(int argc, char** argv) {
+  using namespace wcds;
+  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::stoul(argv[1])) : 800;
+  const double degree = argc > 2 ? std::stod(argv[2]) : 15.0;
+  std::uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 7;
+
+  const double side = geom::side_for_expected_degree(n, degree);
+  std::vector<geom::Point> points;
+  graph::Graph g;
+  do {
+    points = geom::uniform_square(n, side, seed++);
+    g = udg::build_udg(points);
+  } while (!graph::is_connected(g));
+
+  const auto backbone = core::algorithm2(g);
+  auto relays = broadcast::relay_set(g, backbone.result.mask);
+  std::size_t relay_count = 0;
+  for (NodeId u = 0; u < n; ++u) relay_count += relays[u];
+  relays[0] = true;  // the source always transmits
+
+  std::cout << "network: " << n << " nodes, " << g.edge_count()
+            << " edges\nbackbone: " << backbone.result.size()
+            << " dominators, relay set (backbone + gateways): " << relay_count
+            << "\n\n";
+
+  const auto blind = broadcast::blind_flood(g, 0);
+  const auto bb = broadcast::flood(g, 0, relays);
+
+  std::cout << "blind flood:    " << blind.transmissions
+            << " transmissions, reached " << blind.reached << "/" << n
+            << ", completion time " << blind.completion << "\n";
+  std::cout << "backbone flood: " << bb.transmissions
+            << " transmissions, reached " << bb.reached << "/" << n
+            << ", completion time " << bb.completion << "\n";
+  if (blind.transmissions > 0) {
+    std::cout << "saved " << (blind.transmissions - bb.transmissions)
+              << " transmissions ("
+              << 100.0 *
+                     static_cast<double>(blind.transmissions -
+                                         bb.transmissions) /
+                     static_cast<double>(blind.transmissions)
+              << "%)\n";
+  }
+  return bb.reached == n && blind.reached == n ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Clusterhead routing (paper, Section 4.2): unicast packets travel
+// src -> clusterhead -> ... -> clusterhead -> dst over black (spanner) edges
+// only, using the dominators' routing tables.
+//
+// Scenario: a field deployment where pairs of sensors exchange readings.  We
+// route a batch of random pairs, verify delivery, and report the stretch
+// against shortest-path routing (which would need global state at every
+// node; the clusterhead scheme keeps routing state only at dominators).
+//
+//   $ ./clusterhead_routing [node_count] [expected_degree] [pairs] [seed]
+#include <iostream>
+#include <string>
+
+#include "geom/rng.h"
+#include "geom/workload.h"
+#include "graph/bfs.h"
+#include "routing/clusterhead_routing.h"
+#include "udg/udg.h"
+#include "wcds/algorithm2.h"
+
+int main(int argc, char** argv) {
+  using namespace wcds;
+  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::stoul(argv[1])) : 600;
+  const double degree = argc > 2 ? std::stod(argv[2]) : 14.0;
+  const std::uint32_t pair_count =
+      argc > 3 ? static_cast<std::uint32_t>(std::stoul(argv[3])) : 2000;
+  std::uint64_t seed = argc > 4 ? std::stoull(argv[4]) : 3;
+
+  const double side = geom::side_for_expected_degree(n, degree);
+  std::vector<geom::Point> points;
+  graph::Graph g;
+  do {
+    points = geom::uniform_square(n, side, seed++);
+    g = udg::build_udg(points);
+  } while (!graph::is_connected(g));
+
+  const auto backbone = core::algorithm2(g);
+  const routing::ClusterheadRouter router(g, backbone);
+
+  std::cout << "network: " << n << " nodes; clusterheads: "
+            << router.clusterhead_count() << "; overlay edges: "
+            << router.overlay_edge_count() << "; routing-table entries: "
+            << router.table_entries() << " (held at dominators only)\n\n";
+
+  geom::Xoshiro256ss rng(909);
+  std::size_t delivered = 0;
+  std::size_t total_hops = 0;
+  std::size_t total_optimal = 0;
+  double worst_stretch = 0.0;
+  for (std::uint32_t i = 0; i < pair_count; ++i) {
+    const NodeId src = static_cast<NodeId>(rng.next_below(n));
+    const NodeId dst = static_cast<NodeId>(rng.next_below(n));
+    if (src == dst) continue;
+    const auto route = router.route(src, dst);
+    if (!route.delivered) continue;
+    ++delivered;
+    const auto opt = graph::hop_distance(g, src, dst);
+    total_hops += route.hops();
+    total_optimal += opt;
+    if (opt > 0) {
+      worst_stretch = std::max(
+          worst_stretch,
+          static_cast<double>(route.hops()) / static_cast<double>(opt));
+    }
+  }
+
+  std::cout << "routed " << delivered << " packets; mean route length "
+            << static_cast<double>(total_hops) /
+                   static_cast<double>(delivered)
+            << " hops (shortest-path mean "
+            << static_cast<double>(total_optimal) /
+                   static_cast<double>(delivered)
+            << ")\n";
+  std::cout << "mean stretch "
+            << static_cast<double>(total_hops) /
+                   static_cast<double>(total_optimal)
+            << ", worst stretch " << worst_stretch << "\n";
+  return 0;
+}

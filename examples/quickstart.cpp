@@ -1,0 +1,61 @@
+// Quickstart: deploy a random ad hoc network, build the WCDS backbone with
+// both of the paper's algorithms, and inspect the resulting sparse spanner.
+//
+//   $ ./quickstart [node_count] [expected_degree] [seed]
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "geom/workload.h"
+#include "graph/bfs.h"
+#include "spanner/analysis.h"
+#include "udg/udg.h"
+#include "wcds/algorithm1.h"
+#include "wcds/algorithm2.h"
+#include "wcds/verify.h"
+
+int main(int argc, char** argv) {
+  using namespace wcds;
+  const std::uint32_t n = argc > 1 ? static_cast<std::uint32_t>(std::stoul(argv[1])) : 500;
+  const double degree = argc > 2 ? std::stod(argv[2]) : 12.0;
+  std::uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 1;
+
+  // 1. Place nodes and build the unit-disk graph; retry seeds until the
+  //    deployment is connected (the backbone problem assumes connectivity).
+  const double side = geom::side_for_expected_degree(n, degree);
+  std::vector<geom::Point> points;
+  graph::Graph g;
+  do {
+    points = geom::uniform_square(n, side, seed++);
+    g = udg::build_udg(points);
+  } while (!graph::is_connected(g));
+
+  std::cout << "deployment: " << n << " nodes, " << g.edge_count()
+            << " UDG edges, avg degree " << g.average_degree() << "\n\n";
+
+  // 2. Algorithm I: spanning-tree levels + level-ranked MIS (ratio 5).
+  const auto r1 = core::algorithm1(g);
+  std::cout << "Algorithm I   WCDS size: " << r1.size()
+            << "  (is WCDS: " << std::boolalpha << core::is_wcds(g, r1.mask)
+            << ")\n";
+
+  // 3. Algorithm II: ID-ranked MIS + 3-hop bridges (localized, O(n) msgs).
+  const auto out2 = core::algorithm2(g);
+  std::cout << "Algorithm II  WCDS size: " << out2.result.size() << "  ("
+            << out2.result.mis_dominators.size() << " MIS + "
+            << out2.result.additional_dominators.size()
+            << " additional dominators)\n\n";
+
+  // 4. The weakly induced subgraph is the sparse spanner.
+  const auto spanner = core::extract_spanner(g, out2.result);
+  const auto sp = spanner::sparseness(g, spanner, out2.result);
+  std::cout << "spanner: " << sp.spanner_edges << " edges ("
+            << sp.edges_per_node << " per node, vs " << g.edge_count()
+            << " in the UDG)\n";
+
+  const auto topo = spanner::topological_dilation(g, spanner, 50);
+  std::cout << "topological dilation: max " << topo.max_ratio << ", mean "
+            << topo.mean_ratio << "  [Theorem 11 bound 3*delta + 2 holds: "
+            << (topo.max_slack <= 0) << "]\n";
+  return 0;
+}

@@ -1,0 +1,197 @@
+#include "baselines/exact.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "graph/subgraph.h"
+#include "wcds/verify.h"
+
+namespace wcds::baselines {
+namespace {
+
+class Searcher {
+ public:
+  Searcher(const graph::Graph& g, bool weak, const ExactOptions& options)
+      : g_(g), weak_(weak), options_(options) {}
+
+  std::optional<ExactResult> run() {
+    const std::size_t n = g_.node_count();
+    if (n == 0) return std::nullopt;
+    chosen_mask_.assign(n, false);
+    domination_count_.assign(n, 0);
+    for (std::size_t k = 1; k <= options_.max_size; ++k) {
+      target_ = k;
+      chosen_.clear();
+      undominated_ = n;
+      if (dfs(0)) {
+        ExactResult result;
+        result.members = best_;
+        result.proven_optimal = steps_ <= options_.max_steps;
+        result.steps = steps_;
+        return result;
+      }
+      if (steps_ > options_.max_steps) return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  // `min_repair` orders the connectivity-repair additions (all-dominated
+  // states) ascending, so each repair superset is enumerated exactly once.
+  bool dfs(NodeId min_repair) {
+    if (++steps_ > options_.max_steps) return false;
+    if (undominated_ == 0) {
+      if (connectivity_ok()) {
+        best_ = chosen_;
+        std::sort(best_.begin(), best_.end());
+        return true;
+      }
+      // Dominating but disconnected: adding more vertices (if budget allows)
+      // may reconnect, so fall through to branching below.
+    }
+    if (chosen_.size() >= target_) return false;
+    // Prune: even covering max_coverage_ nodes per added vertex cannot
+    // finish within the size budget.
+    const std::size_t remaining = target_ - chosen_.size();
+    if (undominated_ > remaining * max_coverage_) return false;
+
+    const NodeId u = branch_vertex();
+    // Cover u: try each candidate in N[u] not yet chosen.
+    if (u != kInvalidNode) {
+      return try_candidates_around(u);
+    }
+    // Fully dominated but disconnected: extend with vertices >= min_repair.
+    for (NodeId v = min_repair; v < g_.node_count(); ++v) {
+      if (!chosen_mask_[v]) {
+        if (descend(v, v + 1)) return true;
+      }
+    }
+    return false;
+  }
+
+  // Lowest-id undominated vertex, or kInvalidNode if all dominated.
+  NodeId branch_vertex() const {
+    if (undominated_ == 0) return kInvalidNode;
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      if (!dominated(v)) return v;
+    }
+    return kInvalidNode;
+  }
+
+  bool dominated(NodeId v) const { return domination_count_[v] > 0; }
+
+  bool try_candidates_around(NodeId u) {
+    if (!chosen_mask_[u]) {
+      if (descend(u, 0)) return true;
+    }
+    for (NodeId v : g_.neighbors(u)) {
+      if (!chosen_mask_[v]) {
+        if (descend(v, 0)) return true;
+      }
+    }
+    return false;
+  }
+
+  bool descend(NodeId v, NodeId min_repair) {
+    add(v);
+    const bool found = dfs(min_repair);
+    remove(v);
+    return found;
+  }
+
+  void add(NodeId v) {
+    chosen_.push_back(v);
+    chosen_mask_[v] = true;
+    bump(v, +1);
+  }
+
+  void remove(NodeId v) {
+    bump(v, -1);
+    chosen_mask_[v] = false;
+    chosen_.pop_back();
+  }
+
+  void bump(NodeId v, int delta) {
+    const auto apply = [&](NodeId w) {
+      const bool was = dominated(w);
+      domination_count_[w] =
+          static_cast<std::uint32_t>(static_cast<int>(domination_count_[w]) +
+                                     delta);
+      const bool now = dominated(w);
+      if (was && !now) ++undominated_;
+      if (!was && now) --undominated_;
+    };
+    apply(v);
+    for (NodeId w : g_.neighbors(v)) apply(w);
+  }
+
+  bool connectivity_ok() const {
+    if (weak_) return core::is_weakly_connected(g_, chosen_mask_);
+    // CDS: induced subgraph on chosen set connected.
+    const auto induced = graph::induced_subgraph(g_, chosen_mask_);
+    NodeId start = kInvalidNode;
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      if (chosen_mask_[v]) {
+        start = v;
+        break;
+      }
+    }
+    if (start == kInvalidNode) return false;
+    const auto dist = graph::bfs_distances(induced, start);
+    for (NodeId v = 0; v < g_.node_count(); ++v) {
+      if (chosen_mask_[v] && dist[v] == kUnreachable) return false;
+    }
+    return true;
+  }
+
+  const graph::Graph& g_;
+  const bool weak_;
+  const ExactOptions options_;
+  std::size_t target_ = 0;
+  std::size_t max_coverage_ = 0;
+  std::vector<NodeId> chosen_;
+  std::vector<bool> chosen_mask_;
+  std::vector<std::uint32_t> domination_count_;
+  std::size_t undominated_ = 0;
+  std::uint64_t steps_ = 0;
+  std::vector<NodeId> best_;
+
+ public:
+  void init_bounds() { max_coverage_ = g_.max_degree() + 1; }
+};
+
+std::optional<ExactResult> solve(const graph::Graph& g, bool weak,
+                                 const ExactOptions& options) {
+  if (g.node_count() == 0) return std::nullopt;
+  if (!graph::is_connected(g)) return std::nullopt;
+  if (g.node_count() == 1) {
+    return ExactResult{{0}, true, 0};
+  }
+  Searcher searcher(g, weak, options);
+  searcher.init_bounds();
+  return searcher.run();
+}
+
+}  // namespace
+
+std::optional<ExactResult> exact_min_wcds(const graph::Graph& g,
+                                          const ExactOptions& options) {
+  return solve(g, /*weak=*/true, options);
+}
+
+std::optional<ExactResult> exact_min_cds(const graph::Graph& g,
+                                         const ExactOptions& options) {
+  return solve(g, /*weak=*/false, options);
+}
+
+std::size_t domination_lower_bound(const graph::Graph& g) {
+  if (g.node_count() == 0) return 0;
+  const std::size_t cover = g.max_degree() + 1;
+  return (g.node_count() + cover - 1) / cover;
+}
+
+std::size_t udg_mwcds_lower_bound(std::size_t mis_size) {
+  return (mis_size + 4) / 5;
+}
+
+}  // namespace wcds::baselines

@@ -1,0 +1,54 @@
+// Exact minimum WCDS / CDS by branch-and-bound.
+//
+// Finding a minimum WCDS is NP-hard (Dunbar et al., cited by the paper), so
+// exact solutions are only feasible on small instances; we use them as the
+// ground-truth `opt` in experiment T1's measured approximation ratios.
+//
+// Strategy: iterative deepening on the solution size k.  For a fixed k, DFS
+// branches on the lowest-id undominated vertex u: some vertex of N[u] must
+// join the set.  Pruning: |chosen| + ceil(undominated / (maxdeg + 1)) > k.
+// Connectivity (weak for WCDS, induced for CDS) is checked at dominating
+// leaves only, since adding vertices can restore connectivity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace wcds::baselines {
+
+struct ExactOptions {
+  std::size_t max_size = 16;        // give up beyond this cardinality
+  std::uint64_t max_steps = 50'000'000;  // search-node budget
+};
+
+struct ExactResult {
+  std::vector<NodeId> members;  // a minimum set, ascending
+  bool proven_optimal = false;  // false if a budget was hit
+  std::uint64_t steps = 0;      // search nodes expanded
+};
+
+// Minimum weakly-connected dominating set.  Empty optional if no WCDS within
+// options.max_size exists (e.g. disconnected graph) or the budget was hit
+// before finding any.
+[[nodiscard]] std::optional<ExactResult> exact_min_wcds(
+    const graph::Graph& g, const ExactOptions& options = {});
+
+// Minimum connected dominating set.
+[[nodiscard]] std::optional<ExactResult> exact_min_cds(
+    const graph::Graph& g, const ExactOptions& options = {});
+
+// Valid lower bounds on the minimum (W)CDS size -------------------------------
+
+// Domination bound for any graph: ceil(n / (maxdeg + 1)).
+[[nodiscard]] std::size_t domination_lower_bound(const graph::Graph& g);
+
+// UDG bound from Lemma 7's argument: every WCDS covers each MIS node with a
+// distinct closed neighborhood and each dominator covers at most 5 MIS nodes,
+// so opt >= ceil(|MIS| / 5).  Only valid when g is a unit-disk graph.
+[[nodiscard]] std::size_t udg_mwcds_lower_bound(std::size_t mis_size);
+
+}  // namespace wcds::baselines

@@ -1,0 +1,131 @@
+#include "baselines/mis_tree_cds.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/bfs.h"
+#include "mis/mis.h"
+
+namespace wcds::baselines {
+namespace {
+
+// Hop distances from `source` truncated at 3 (connector search radius).
+std::vector<HopCount> bfs3(const graph::Graph& g, NodeId source) {
+  std::vector<HopCount> dist(g.node_count(), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    if (dist[u] == 3) continue;
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+core::WcdsResult mis_tree_cds(const graph::Graph& g) {
+  const std::size_t n = g.node_count();
+  if (n == 0) throw std::invalid_argument("mis_tree_cds: empty graph");
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument("mis_tree_cds: graph must be connected");
+  }
+
+  const auto s = mis::greedy_mis_by_id(g);
+  const std::size_t m = s.members.size();
+
+  // Prim-style spanning tree of H_3 over the MIS, growing from the smallest
+  // member; each absorbed member remembers the tree edge that reached it.
+  std::vector<std::vector<HopCount>> dist(m);
+  for (std::size_t i = 0; i < m; ++i) dist[i] = bfs3(g, s.members[i]);
+  const auto hop = [&](std::size_t i, std::size_t j) {
+    return dist[i][s.members[j]];
+  };
+
+  std::vector<bool> in_tree(m, false);
+  std::vector<HopCount> best(m, kUnreachable);
+  std::vector<std::size_t> best_from(m, m);
+  std::vector<std::pair<std::size_t, std::size_t>> tree_edges;  // (from, to)
+  best[0] = 0;
+  for (std::size_t step = 0; step < m; ++step) {
+    std::size_t next = m;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!in_tree[j] && (next == m || best[j] < best[next])) next = j;
+    }
+    if (best[next] == kUnreachable) {
+      throw std::logic_error("mis_tree_cds: H_3 disconnected (Lemma 3?)");
+    }
+    in_tree[next] = true;
+    if (best_from[next] != m) tree_edges.emplace_back(best_from[next], next);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!in_tree[j] && hop(next, j) < best[j]) {
+        best[j] = hop(next, j);
+        best_from[j] = next;
+      }
+    }
+  }
+
+  // Promote connectors along each tree edge.
+  std::vector<bool> connector(n, false);
+  for (const auto& [i, j] : tree_edges) {
+    const NodeId a = s.members[i];
+    const NodeId b = s.members[j];
+    if (hop(i, j) == 2) {
+      // Smallest common neighbor.
+      for (NodeId v : g.neighbors(a)) {
+        if (g.has_edge(v, b)) {
+          connector[v] = true;
+          break;  // neighbors() ascending
+        }
+      }
+    } else {
+      // Smallest (v, x) with a-v-x-b.
+      bool done = false;
+      for (NodeId v : g.neighbors(a)) {
+        for (NodeId x : g.neighbors(v)) {
+          if (g.has_edge(x, b)) {
+            connector[v] = true;
+            connector[x] = true;
+            done = true;
+            break;
+          }
+        }
+        if (done) break;
+      }
+      if (!done) throw std::logic_error("mis_tree_cds: lost 3-hop path");
+    }
+  }
+
+  core::WcdsResult result;
+  result.mask.assign(n, false);
+  result.color.assign(n, core::NodeColor::kGray);
+  for (NodeId u : s.members) {
+    result.mask[u] = true;
+    result.mis_dominators.push_back(u);
+  }
+  std::sort(result.mis_dominators.begin(), result.mis_dominators.end());
+  for (NodeId v = 0; v < n; ++v) {
+    if (connector[v] && !result.mask[v]) {
+      result.mask[v] = true;
+      result.additional_dominators.push_back(v);
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (result.mask[u]) {
+      result.dominators.push_back(u);
+      result.color[u] = core::NodeColor::kBlack;
+    }
+  }
+  return result;
+}
+
+}  // namespace wcds::baselines

@@ -1,0 +1,28 @@
+// MIS-tree CDS baseline — Alzoubi, Wan, Frieder's own connected-dominating-
+// set construction (refs [2], [4], [5] of the paper), the prior work this
+// paper's WCDS relaxes.
+//
+// Construction: take the greedy lowest-ID-first MIS (the dominators), then
+// connect it into a CDS by adding one *connector* per edge of a spanning
+// tree of the MIS proximity graph H_3 (MIS nodes adjacent iff <= 3 hops
+// apart; Lemma 3 guarantees H_3 is connected).  A 2-hop tree edge adds the
+// single shared intermediate; a 3-hop edge adds both intermediates.  The
+// result is a CDS of size <= |MIS| + 2(|MIS| - 1), hence O(opt).
+//
+// This gives experiment T1 the "CDS from the same MIS machinery" comparison
+// point: |WCDS| <= |CDS| on every instance, with the gap quantifying what
+// the weak-connectivity relaxation buys.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "wcds/wcds_result.h"
+
+namespace wcds::baselines {
+
+// Precondition: g is connected.  Throws std::invalid_argument otherwise.
+// In the result, `mis_dominators` holds the MIS and `additional_dominators`
+// the connectors.
+[[nodiscard]] core::WcdsResult mis_tree_cds(const graph::Graph& g);
+
+}  // namespace wcds::baselines

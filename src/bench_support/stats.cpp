@@ -1,0 +1,26 @@
+#include "bench_support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wcds::bench {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return s;
+}
+
+}  // namespace wcds::bench

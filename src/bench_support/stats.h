@@ -1,0 +1,17 @@
+// Aggregate statistics over repeated-trial experiment sweeps.
+#pragma once
+
+#include <span>
+
+namespace wcds::bench {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+}  // namespace wcds::bench

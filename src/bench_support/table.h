@@ -1,0 +1,39 @@
+// Fixed-width table printing for the experiment harnesses.
+//
+// Every bench binary prints its reproduction table through this, so the rows
+// recorded in EXPERIMENTS.md and the rows a user regenerates line up exactly.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wcds::bench {
+
+class Table {
+ public:
+  // `headers` fixes the column count; widths adapt to content.
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Render with a header rule, right-aligned numeric-looking cells.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers.
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+[[nodiscard]] std::string fmt_ratio(double value);  // 3 decimals
+[[nodiscard]] std::string fmt_count(std::uint64_t value);
+
+// Section banner: "== F3: Lemma 1 ... ==".
+void banner(std::ostream& os, const std::string& title);
+
+}  // namespace wcds::bench

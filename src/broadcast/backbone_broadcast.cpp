@@ -1,0 +1,89 @@
+#include "broadcast/backbone_broadcast.h"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+namespace wcds::broadcast {
+namespace {
+
+class SelectiveFlood final : public sim::ProtocolNode {
+ public:
+  SelectiveFlood(NodeId source, bool retransmits)
+      : source_(source), retransmits_(retransmits) {}
+  void on_start(sim::Context& ctx) override {
+    if (ctx.self() == source_) {
+      heard_ = true;
+      if (!ctx.neighbors().empty()) ctx.broadcast(1);
+    }
+  }
+  void on_receive(sim::Context& ctx, const sim::Message&) override {
+    if (!heard_) {
+      heard_ = true;
+      if (retransmits_) ctx.broadcast(1);
+    }
+  }
+  [[nodiscard]] bool heard() const { return heard_; }
+
+ private:
+  NodeId source_;
+  bool retransmits_;
+  bool heard_ = false;
+};
+
+}  // namespace
+
+std::vector<bool> relay_set(const graph::Graph& g,
+                            const std::vector<bool>& backbone) {
+  if (backbone.size() != g.node_count()) {
+    throw std::invalid_argument("relay_set: mask size mismatch");
+  }
+  std::vector<bool> relay = backbone;
+  std::map<std::pair<NodeId, NodeId>, NodeId> gateway;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (!backbone[u]) continue;
+    for (NodeId mid : g.neighbors(u)) {
+      if (backbone[mid]) continue;
+      for (NodeId w : g.neighbors(mid)) {
+        if (!backbone[w] || w <= u || g.has_edge(u, w)) continue;
+        auto [it, inserted] = gateway.emplace(std::pair{u, w}, mid);
+        if (!inserted && mid < it->second) it->second = mid;
+      }
+    }
+  }
+  for (const auto& [pair, gw] : gateway) relay[gw] = true;
+  return relay;
+}
+
+FloodResult flood(const graph::Graph& g, NodeId source,
+                  const std::vector<bool>& retransmitters,
+                  const sim::DelayModel& delays) {
+  if (retransmitters.size() != g.node_count()) {
+    throw std::invalid_argument("flood: mask size mismatch");
+  }
+  if (source >= g.node_count()) {
+    throw std::out_of_range("flood: source out of range");
+  }
+  sim::Runtime rt(
+      g,
+      [&](NodeId u) {
+        return std::make_unique<SelectiveFlood>(source, retransmitters[u]);
+      },
+      delays);
+  const auto stats = rt.run();
+  FloodResult result;
+  result.transmissions = stats.transmissions;
+  result.completion = stats.completion_time;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    result.reached +=
+        static_cast<const SelectiveFlood&>(rt.node(u)).heard() ? 1 : 0;
+  }
+  return result;
+}
+
+FloodResult blind_flood(const graph::Graph& g, NodeId source,
+                        const sim::DelayModel& delays) {
+  return flood(g, source, std::vector<bool>(g.node_count(), true), delays);
+}
+
+}  // namespace wcds::broadcast

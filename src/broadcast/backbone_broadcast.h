@@ -1,0 +1,45 @@
+// Backbone broadcast over a WCDS (the application the paper motivates:
+// "the number of nodes responsible for routing and broadcasting can be
+// reduced to the number of nodes in the backbone", Section 1).
+//
+// A WCDS is *weakly* connected — backbone nodes can be two hops apart — so
+// a broadcast relay structure adds one gray "gateway" per pair of backbone
+// nodes at exactly two hops (the classic cluster-gateway construction).
+// Every weakly-induced path alternates backbone/gray and each internal gray
+// node is a common neighbor of its two backbone neighbors, so the chosen
+// gateways preserve connectivity of the relay structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "sim/runtime.h"
+
+namespace wcds::broadcast {
+
+// U plus one chosen gateway (smallest common neighbor) per pair of U-nodes
+// at exactly two hops.  Precondition: backbone.size() == g.node_count().
+[[nodiscard]] std::vector<bool> relay_set(const graph::Graph& g,
+                                          const std::vector<bool>& backbone);
+
+struct FloodResult {
+  std::uint64_t transmissions = 0;
+  std::size_t reached = 0;        // nodes that heard the message
+  sim::SimTime completion = 0;    // delivery time of the last copy
+};
+
+// Flood a message from `source`; only nodes flagged in `retransmitters`
+// (plus the source) rebroadcast the first copy they hear.
+[[nodiscard]] FloodResult flood(
+    const graph::Graph& g, NodeId source,
+    const std::vector<bool>& retransmitters,
+    const sim::DelayModel& delays = sim::DelayModel::unit());
+
+// Blind flood: every node retransmits once (the baseline).
+[[nodiscard]] FloodResult blind_flood(
+    const graph::Graph& g, NodeId source,
+    const sim::DelayModel& delays = sim::DelayModel::unit());
+
+}  // namespace wcds::broadcast

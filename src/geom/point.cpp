@@ -1,0 +1,11 @@
+#include "geom/point.h"
+
+#include <ostream>
+
+namespace wcds::geom {
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+}  // namespace wcds::geom

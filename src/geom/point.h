@@ -1,0 +1,61 @@
+// Planar geometry primitives for the unit-disk-graph model.
+//
+// All nodes of a wireless ad hoc network are modelled as points in the
+// two-dimensional plane with a common maximum transmission range
+// (paper, Section 1).  Every distance in this library is Euclidean.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+
+namespace wcds::geom {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+[[nodiscard]] inline double squared_distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+[[nodiscard]] inline double distance(const Point& a, const Point& b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+// True iff |ab| <= r, computed without a square root.
+[[nodiscard]] inline bool within_range(const Point& a, const Point& b, double r) {
+  return squared_distance(a, b) <= r * r;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+
+// Axis-aligned bounding box of a point set; used by workload generators and
+// the grid-bucket UDG builder.
+struct BoundingBox {
+  Point min{0.0, 0.0};
+  Point max{0.0, 0.0};
+
+  [[nodiscard]] double width() const { return max.x - min.x; }
+  [[nodiscard]] double height() const { return max.y - min.y; }
+  [[nodiscard]] double area() const { return width() * height(); }
+  [[nodiscard]] bool contains(const Point& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  // Grow so that `p` is contained.
+  void expand(const Point& p) {
+    if (p.x < min.x) min.x = p.x;
+    if (p.y < min.y) min.y = p.y;
+    if (p.x > max.x) max.x = p.x;
+    if (p.y > max.y) max.y = p.y;
+  }
+};
+
+}  // namespace wcds::geom

@@ -1,0 +1,88 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Experiments in this repository must be exactly reproducible from a seed, so
+// we ship our own small generators instead of relying on implementation-
+// defined std::default_random_engine behaviour.  SplitMix64 seeds
+// Xoshiro256** which provides the stream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace wcds::geom {
+
+// Fixed-increment SplitMix64 (Steele, Lea, Flood); used to expand a single
+// 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Xoshiro256** 1.0 (Blackman & Vigna).  Satisfies UniformRandomBitGenerator.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256ss(std::uint64_t seed) : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& word : s_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1): the top 53 bits of a draw.
+  constexpr double next_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  constexpr double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Uniform integer in [0, n).  Rejection-free Lemire-style reduction is not
+  // needed at our scales; modulo bias over 64 bits is negligible but we avoid
+  // it anyway via rejection on the tail.
+  constexpr std::uint64_t next_below(std::uint64_t n) {
+    if (n == 0) return 0;
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t v = (*this)();
+    while (v >= limit) v = (*this)();
+    return v % n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace wcds::geom

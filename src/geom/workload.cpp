@@ -1,0 +1,158 @@
+#include "geom/workload.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wcds::geom {
+namespace {
+
+// Box-Muller transform; returns one standard normal draw.
+double next_gaussian(Xoshiro256ss& rng) {
+  double u1 = rng.next_double();
+  while (u1 <= 0.0) u1 = rng.next_double();
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace
+
+std::string to_string(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kUniform: return "uniform";
+    case WorkloadKind::kClustered: return "clustered";
+    case WorkloadKind::kPerturbedGrid: return "perturbed-grid";
+    case WorkloadKind::kCorridor: return "corridor";
+    case WorkloadKind::kRing: return "ring";
+  }
+  return "unknown";
+}
+
+std::vector<Point> uniform_square(std::uint32_t count, double side,
+                                  std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    points.push_back({rng.next_double(0.0, side), rng.next_double(0.0, side)});
+  }
+  return points;
+}
+
+std::vector<Point> clustered(std::uint32_t count, double side,
+                             std::uint32_t clusters, double sigma,
+                             std::uint64_t seed) {
+  if (clusters == 0) throw std::invalid_argument("clustered: clusters == 0");
+  Xoshiro256ss rng(seed);
+  std::vector<Point> centers;
+  centers.reserve(clusters);
+  for (std::uint32_t c = 0; c < clusters; ++c) {
+    centers.push_back({rng.next_double(0.0, side), rng.next_double(0.0, side)});
+  }
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Point& c = centers[rng.next_below(clusters)];
+    const double x = clamp(c.x + sigma * next_gaussian(rng), 0.0, side);
+    const double y = clamp(c.y + sigma * next_gaussian(rng), 0.0, side);
+    points.push_back({x, y});
+  }
+  return points;
+}
+
+std::vector<Point> perturbed_grid(std::uint32_t count, double side,
+                                  double jitter, std::uint64_t seed) {
+  Xoshiro256ss rng(seed);
+  const auto cols =
+      static_cast<std::uint32_t>(std::ceil(std::sqrt(static_cast<double>(count))));
+  const auto rows = (count + cols - 1) / cols;
+  const double dx = side / static_cast<double>(cols);
+  const double dy = side / static_cast<double>(rows);
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t r = i / cols;
+    const std::uint32_t c = i % cols;
+    const double jx = rng.next_double(-jitter, jitter) * dx;
+    const double jy = rng.next_double(-jitter, jitter) * dy;
+    const double x = clamp((static_cast<double>(c) + 0.5) * dx + jx, 0.0, side);
+    const double y = clamp((static_cast<double>(r) + 0.5) * dy + jy, 0.0, side);
+    points.push_back({x, y});
+  }
+  return points;
+}
+
+std::vector<Point> corridor(std::uint32_t count, double length, double aspect,
+                            std::uint64_t seed) {
+  if (aspect <= 0.0) throw std::invalid_argument("corridor: aspect <= 0");
+  Xoshiro256ss rng(seed);
+  const double height = length * aspect;
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    points.push_back(
+        {rng.next_double(0.0, length), rng.next_double(0.0, height)});
+  }
+  return points;
+}
+
+std::vector<Point> ring(std::uint32_t count, double outer_radius,
+                        double inner_fraction, std::uint64_t seed) {
+  if (inner_fraction < 0.0 || inner_fraction >= 1.0) {
+    throw std::invalid_argument("ring: inner_fraction must be in [0, 1)");
+  }
+  Xoshiro256ss rng(seed);
+  const double r_in = outer_radius * inner_fraction;
+  std::vector<Point> points;
+  points.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // Area-uniform radius within the annulus.
+    const double u = rng.next_double();
+    const double r =
+        std::sqrt(r_in * r_in + u * (outer_radius * outer_radius - r_in * r_in));
+    const double theta = rng.next_double(0.0, 2.0 * std::numbers::pi);
+    points.push_back({outer_radius + r * std::cos(theta),
+                      outer_radius + r * std::sin(theta)});
+  }
+  return points;
+}
+
+std::vector<Point> generate(const WorkloadParams& params) {
+  switch (params.kind) {
+    case WorkloadKind::kUniform:
+      return uniform_square(params.count, params.side, params.seed);
+    case WorkloadKind::kClustered:
+      return clustered(params.count, params.side, params.clusters,
+                       params.cluster_sigma, params.seed);
+    case WorkloadKind::kPerturbedGrid:
+      return perturbed_grid(params.count, params.side, params.jitter,
+                            params.seed);
+    case WorkloadKind::kCorridor:
+      return corridor(params.count, params.side, params.aspect, params.seed);
+    case WorkloadKind::kRing:
+      return ring(params.count, params.side / 2.0, params.ring_inner,
+                  params.seed);
+  }
+  throw std::invalid_argument("generate: unknown workload kind");
+}
+
+double side_for_expected_degree(std::uint32_t count, double expected_deg) {
+  if (expected_deg <= 0.0) {
+    throw std::invalid_argument("side_for_expected_degree: degree <= 0");
+  }
+  const double n = static_cast<double>(count);
+  return std::sqrt((n - 1.0) * std::numbers::pi / expected_deg);
+}
+
+double expected_degree(std::uint32_t count, double side) {
+  const double n = static_cast<double>(count);
+  return (n - 1.0) * std::numbers::pi / (side * side);
+}
+
+}  // namespace wcds::geom

@@ -1,0 +1,73 @@
+// Synthetic node-placement workloads.
+//
+// The paper evaluates on the unit-disk-graph abstraction of a wireless ad hoc
+// deployment; these generators produce the point sets that stand in for real
+// deployments (DESIGN.md, "Paper -> build substitutions").  All generators are
+// deterministic given a seed.
+//
+// Densities are usually expressed as the *expected number of neighbors*
+// mu = n * pi * r^2 / area; helpers below convert between side length and mu.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rng.h"
+
+namespace wcds::geom {
+
+enum class WorkloadKind {
+  kUniform,        // i.i.d. uniform in a square
+  kClustered,      // Gaussian hotspots (Matern-like cluster process)
+  kPerturbedGrid,  // regular grid with uniform jitter
+  kCorridor,       // long thin rectangle (highway / tunnel scenario)
+  kRing,           // annulus deployment (perimeter surveillance)
+};
+
+[[nodiscard]] std::string to_string(WorkloadKind kind);
+
+struct WorkloadParams {
+  WorkloadKind kind = WorkloadKind::kUniform;
+  std::uint32_t count = 0;      // number of nodes to place
+  double side = 10.0;           // square side / corridor length
+  double aspect = 0.1;          // corridor height = side * aspect
+  std::uint32_t clusters = 8;   // hotspot count for kClustered
+  double cluster_sigma = 0.7;   // hotspot standard deviation
+  double jitter = 0.4;          // grid jitter amplitude (fraction of spacing)
+  double ring_inner = 0.7;      // inner radius as fraction of outer
+  std::uint64_t seed = 1;
+};
+
+// Generate `params.count` points per the chosen process.
+[[nodiscard]] std::vector<Point> generate(const WorkloadParams& params);
+
+// Convenience wrappers -------------------------------------------------------
+
+[[nodiscard]] std::vector<Point> uniform_square(std::uint32_t count, double side,
+                                                std::uint64_t seed);
+
+[[nodiscard]] std::vector<Point> clustered(std::uint32_t count, double side,
+                                           std::uint32_t clusters, double sigma,
+                                           std::uint64_t seed);
+
+[[nodiscard]] std::vector<Point> perturbed_grid(std::uint32_t count, double side,
+                                                double jitter, std::uint64_t seed);
+
+[[nodiscard]] std::vector<Point> corridor(std::uint32_t count, double length,
+                                          double aspect, std::uint64_t seed);
+
+[[nodiscard]] std::vector<Point> ring(std::uint32_t count, double outer_radius,
+                                      double inner_fraction, std::uint64_t seed);
+
+// Side length of a square such that `count` unit-range nodes have expected
+// degree `expected_degree` (mu = (count - 1) * pi / side^2).
+[[nodiscard]] double side_for_expected_degree(std::uint32_t count,
+                                              double expected_degree);
+
+// Expected degree of `count` unit-range nodes uniform in a `side` square
+// (ignoring boundary effects).
+[[nodiscard]] double expected_degree(std::uint32_t count, double side);
+
+}  // namespace wcds::geom

@@ -1,0 +1,46 @@
+#include "graph/diameter.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+
+namespace wcds::graph {
+
+DistanceMetrics distance_metrics(const Graph& g, std::size_t max_sources) {
+  DistanceMetrics metrics;
+  const std::size_t n = g.node_count();
+  if (n == 0) return metrics;
+  const std::size_t count = std::min(n, max_sources);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId source = static_cast<NodeId>(i * n / count);
+    const auto dist = bfs_distances(g, source);
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == source || dist[v] == kUnreachable) continue;
+      metrics.diameter = std::max(metrics.diameter, dist[v]);
+      sum += static_cast<double>(dist[v]);
+      ++metrics.connected_pairs;
+    }
+  }
+  if (metrics.connected_pairs > 0) {
+    metrics.average_path_length =
+        sum / static_cast<double>(metrics.connected_pairs);
+  }
+  return metrics;
+}
+
+HopCount double_sweep_diameter_bound(const Graph& g, NodeId start) {
+  if (g.node_count() == 0) return 0;
+  const auto first = bfs_distances(g, start);
+  NodeId farthest = start;
+  HopCount best = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (first[v] != kUnreachable && first[v] > best) {
+      best = first[v];
+      farthest = v;
+    }
+  }
+  return eccentricity(g, farthest);
+}
+
+}  // namespace wcds::graph

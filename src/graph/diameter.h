@@ -1,0 +1,35 @@
+// Network-scale distance metrics: exact diameter and average path length.
+//
+// The completion times of the distributed phases scale with the network
+// diameter (T4's "time ~ sqrt(n)" shape for fixed density); these helpers
+// make that relation measurable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace wcds::graph {
+
+struct DistanceMetrics {
+  HopCount diameter = 0;          // max finite pairwise hop distance
+  double average_path_length = 0; // mean over connected ordered pairs
+  std::uint64_t connected_pairs = 0;
+};
+
+// Exact metrics via one BFS per node: O(n * (n + m)).  Fine for the sizes
+// this library simulates; pass `max_sources` to estimate from a strided
+// sample on larger graphs (diameter then becomes a lower bound).
+[[nodiscard]] DistanceMetrics distance_metrics(
+    const Graph& g,
+    std::size_t max_sources = std::numeric_limits<std::size_t>::max());
+
+// Double-sweep lower bound on the diameter: BFS from `start`, then BFS from
+// the farthest node found.  Exact on trees, a strong lower bound in general,
+// O(n + m).
+[[nodiscard]] HopCount double_sweep_diameter_bound(const Graph& g,
+                                                   NodeId start = 0);
+
+}  // namespace wcds::graph

@@ -1,0 +1,72 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/bfs.h"
+
+namespace wcds::graph {
+
+std::vector<double> geometric_shortest_paths(const Graph& g,
+                                             std::span<const geom::Point> points,
+                                             NodeId source) {
+  if (points.size() != g.node_count()) {
+    throw std::invalid_argument("geometric_shortest_paths: size mismatch");
+  }
+  std::vector<double> dist(g.node_count(), kInfiniteLength);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    for (NodeId v : g.neighbors(u)) {
+      const double nd = d + geom::distance(points[u], points[v]);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> max_length_of_min_hop_paths(
+    const Graph& g, std::span<const geom::Point> points, NodeId source) {
+  if (points.size() != g.node_count()) {
+    throw std::invalid_argument("max_length_of_min_hop_paths: size mismatch");
+  }
+  const auto hops = bfs_distances(g, source);
+  // Process nodes in increasing hop order; maxlen[v] = max over neighbors p
+  // one layer closer of maxlen[p] + ||pv||.
+  std::vector<NodeId> order;
+  order.reserve(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (hops[u] != kUnreachable) order.push_back(u);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return hops[a] < hops[b]; });
+
+  std::vector<double> maxlen(g.node_count(), kInfiniteLength);
+  maxlen[source] = 0.0;
+  for (NodeId v : order) {
+    if (v == source) continue;
+    double best = -1.0;
+    for (NodeId p : g.neighbors(v)) {
+      if (hops[p] != kUnreachable && hops[p] + 1 == hops[v]) {
+        const double candidate = maxlen[p] + geom::distance(points[p], points[v]);
+        if (candidate > best) best = candidate;
+      }
+    }
+    assert(best >= 0.0 && "BFS layering guarantees a predecessor");
+    maxlen[v] = best;
+  }
+  return maxlen;
+}
+
+}  // namespace wcds::graph

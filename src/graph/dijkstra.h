@@ -1,0 +1,32 @@
+// Weighted shortest paths over geometric edge lengths.
+//
+// Used for the paper's *geometric* dilation (Section 3): l_G(u, v) is the
+// total Euclidean length of a minimum-distance path in G.  Edge weights are
+// supplied as node positions; the weight of edge (u, v) is ||uv||.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace wcds::graph {
+
+inline constexpr double kInfiniteLength = std::numeric_limits<double>::infinity();
+
+// Euclidean shortest-path length from `source` to every node; infinity where
+// disconnected.  `points.size()` must equal `g.node_count()`.
+[[nodiscard]] std::vector<double> geometric_shortest_paths(
+    const Graph& g, std::span<const geom::Point> points, NodeId source);
+
+// For every node v, the *maximum* total Euclidean length over all minimum-hop
+// paths from `source` to v in g.  This is l_G'(u, v) from Section 3: the
+// worst-case length of a min-hop route, computable by dynamic programming on
+// the BFS layer DAG.  Infinity where disconnected.
+[[nodiscard]] std::vector<double> max_length_of_min_hop_paths(
+    const Graph& g, std::span<const geom::Point> points, NodeId source);
+
+}  // namespace wcds::graph

@@ -1,0 +1,80 @@
+// Immutable undirected graph in compressed-sparse-row form.
+//
+// Build with GraphBuilder (deduplicating, loop-rejecting), then query.  All
+// algorithm layers (MIS, WCDS, spanner analysis, simulator) operate on this
+// type; unit-disk graphs are produced by src/udg.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace wcds::graph {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // `offsets` has n+1 entries; `adjacency[offsets[u]..offsets[u+1])` are the
+  // neighbors of u, sorted ascending.  GraphBuilder produces this layout.
+  Graph(std::vector<std::uint32_t> offsets, std::vector<NodeId> adjacency);
+
+  [[nodiscard]] std::size_t node_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  // Number of undirected edges.
+  [[nodiscard]] std::size_t edge_count() const { return adjacency_.size() / 2; }
+
+  [[nodiscard]] std::size_t degree(NodeId u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const {
+    return {adjacency_.data() + offsets_[u], degree(u)};
+  }
+
+  // O(log deg(u)) membership test on the sorted adjacency row.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  [[nodiscard]] std::size_t max_degree() const;
+  [[nodiscard]] double average_degree() const;
+
+  // All undirected edges as (u, v) with u < v, in row order.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+ private:
+  std::vector<std::uint32_t> offsets_;
+  std::vector<NodeId> adjacency_;
+};
+
+// Collects undirected edges, then emits a Graph.  Duplicate edges are merged;
+// self-loops are rejected (the UDG model has none).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::size_t node_count) : node_count_(node_count) {}
+
+  void add_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+
+  // Consumes the builder.
+  [[nodiscard]] Graph build() &&;
+
+ private:
+  std::size_t node_count_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+// Graph from an explicit edge list (test convenience).
+[[nodiscard]] Graph from_edges(std::size_t node_count,
+                               std::span<const std::pair<NodeId, NodeId>> edges);
+[[nodiscard]] Graph from_edges(
+    std::size_t node_count,
+    std::initializer_list<std::pair<NodeId, NodeId>> edges);
+
+}  // namespace wcds::graph

@@ -1,0 +1,46 @@
+#include "graph/subgraph.h"
+
+#include <stdexcept>
+
+namespace wcds::graph {
+
+Graph weakly_induced_subgraph(const Graph& g, const std::vector<bool>& members) {
+  if (members.size() != g.node_count()) {
+    throw std::invalid_argument("weakly_induced_subgraph: mask size mismatch");
+  }
+  GraphBuilder builder(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v && (members[u] || members[v])) builder.add_edge(u, v);
+    }
+  }
+  return std::move(builder).build();
+}
+
+Graph induced_subgraph(const Graph& g, const std::vector<bool>& members) {
+  if (members.size() != g.node_count()) {
+    throw std::invalid_argument("induced_subgraph: mask size mismatch");
+  }
+  GraphBuilder builder(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (!members[u]) continue;
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v && members[v]) builder.add_edge(u, v);
+    }
+  }
+  return std::move(builder).build();
+}
+
+std::vector<bool> make_mask(std::size_t node_count,
+                            std::span<const NodeId> members) {
+  std::vector<bool> mask(node_count, false);
+  for (NodeId u : members) {
+    if (u >= node_count) {
+      throw std::out_of_range("make_mask: node id out of range");
+    }
+    mask[u] = true;
+  }
+  return mask;
+}
+
+}  // namespace wcds::graph

@@ -1,0 +1,31 @@
+// Subgraph extraction helpers.
+//
+// The weakly induced subgraph G' of a set S keeps every edge of G with at
+// least one endpoint in S (paper, Abstract).  G' has the same vertex set as
+// G, which matters: connectivity of G' is judged over all of V.  Isolated
+// nodes (no black edge) make G' disconnected unless n == 1.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace wcds::graph {
+
+// Graph on the same vertex set keeping only edges with >= 1 endpoint in
+// `members` (a node-indexed membership mask).
+[[nodiscard]] Graph weakly_induced_subgraph(const Graph& g,
+                                            const std::vector<bool>& members);
+
+// Graph on the same vertex set keeping only edges with *both* endpoints in
+// `members` (the ordinary induced subgraph, for CDS checks).
+[[nodiscard]] Graph induced_subgraph(const Graph& g,
+                                     const std::vector<bool>& members);
+
+// Convert a node list into a node-indexed mask.
+[[nodiscard]] std::vector<bool> make_mask(std::size_t node_count,
+                                          std::span<const NodeId> members);
+
+}  // namespace wcds::graph

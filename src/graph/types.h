@@ -1,0 +1,20 @@
+// Fundamental identifier types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace wcds {
+
+// Node identifiers double as the static rank ("ID") used by the paper's
+// algorithms, so they are dense integers 0..n-1 by convention, but nothing in
+// the graph layer requires density beyond construction.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+// Hop counts; kUnreachable marks disconnected pairs.
+using HopCount = std::uint32_t;
+inline constexpr HopCount kUnreachable = std::numeric_limits<HopCount>::max();
+
+}  // namespace wcds

@@ -1,0 +1,37 @@
+// SVG rendering of deployments, backbones, and spanners.
+//
+// Produces figures in the style of the paper's illustrations: gray nodes as
+// small circles, MIS-dominators as filled black discs, additional-dominators
+// as filled squares, white (non-backbone) UDG edges as light strokes and
+// black (spanner) edges as dark strokes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "graph/graph.h"
+#include "wcds/wcds_result.h"
+
+namespace wcds::io {
+
+struct SvgOptions {
+  double canvas_px = 900.0;   // longest side in pixels
+  double margin_px = 24.0;
+  double node_radius_px = 3.5;
+  bool draw_udg_edges = true;      // light background edges
+  bool draw_spanner_edges = true;  // dark backbone-incident edges
+};
+
+// Render the deployment with its WCDS.  `wcds` may be empty-initialized
+// (default WcdsResult) to draw the bare UDG.
+void write_svg(std::ostream& os, const std::vector<geom::Point>& points,
+               const graph::Graph& g, const core::WcdsResult& wcds,
+               const SvgOptions& options = {});
+
+void save_svg(const std::string& path, const std::vector<geom::Point>& points,
+              const graph::Graph& g, const core::WcdsResult& wcds,
+              const SvgOptions& options = {});
+
+}  // namespace wcds::io

@@ -1,0 +1,38 @@
+// Plain-text serialization for deployments and graphs.
+//
+// Deployment format (one point per line after the count):
+//     wcds-points v1
+//     <n>
+//     <x> <y>
+//     ...
+// Graph format (undirected edge list, canonical u < v):
+//     wcds-graph v1
+//     <n> <m>
+//     <u> <v>
+//     ...
+// Both formats round-trip exactly (doubles serialized with max_digits10).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "graph/graph.h"
+
+namespace wcds::io {
+
+void write_points(std::ostream& os, const std::vector<geom::Point>& points);
+[[nodiscard]] std::vector<geom::Point> read_points(std::istream& is);
+
+void write_graph(std::ostream& os, const graph::Graph& g);
+[[nodiscard]] graph::Graph read_graph(std::istream& is);
+
+// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_points(const std::string& path,
+                 const std::vector<geom::Point>& points);
+[[nodiscard]] std::vector<geom::Point> load_points(const std::string& path);
+void save_graph(const std::string& path, const graph::Graph& g);
+[[nodiscard]] graph::Graph load_graph(const std::string& path);
+
+}  // namespace wcds::io

@@ -1,0 +1,63 @@
+// Structural-property auditors for the MIS lemmas of Section 2.
+//
+// These measure, on a concrete graph and MIS, the quantities the paper bounds
+// analytically, so experiments F3-F5 can report measured-vs-proven:
+//   Lemma 1:  any non-MIS node of a UDG has <= 5 MIS neighbors.
+//   Lemma 2:  an MIS node has <= 23 MIS nodes exactly 2 hops away and <= 47
+//             within 3 hops (constants re-derived from the paper's annulus
+//             packing argument; the OCR garbles them, see DESIGN.md).
+//   Lemma 3:  complementary subsets of any MIS are exactly 2 or 3 hops apart;
+//   Theorem 4: under level-based ranking, exactly 2.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "mis/mis.h"
+
+namespace wcds::mis {
+
+// Lemma 1: max number of MIS neighbors over all non-MIS nodes.
+[[nodiscard]] std::size_t max_mis_neighbors(const graph::Graph& g,
+                                            const std::vector<bool>& mis_mask);
+
+struct HopNeighborhoodStats {
+  std::size_t max_at_two_hops = 0;      // Lemma 2 part 1 (bound: 23)
+  std::size_t max_within_three_hops = 0;  // Lemma 2 part 2 (bound: 47)
+};
+
+// Lemma 2: per-MIS-node counts of other MIS nodes at exactly 2 hops and at
+// 1..3 hops, maximized over the MIS.  (No MIS pair is ever at 1 hop.)
+[[nodiscard]] HopNeighborhoodStats mis_hop_neighborhood_stats(
+    const graph::Graph& g, const MisResult& mis);
+
+// The "MIS proximity graph" H_k: vertices are MIS members (indexed by their
+// position in mis.members), edges join members whose hop distance in G is
+// <= k.  Lemma 3 <=> H_3 connected whenever G is; Theorem 4 <=> H_2 connected
+// for level-ranked MIS.
+[[nodiscard]] graph::Graph mis_proximity_graph(const graph::Graph& g,
+                                               const MisResult& mis,
+                                               HopCount max_hops);
+
+struct SubsetDistanceAudit {
+  bool h2_connected = false;  // every complementary-subset cut is <= 2 hops
+  bool h3_connected = false;  // ... <= 3 hops (Lemma 3 guarantee)
+};
+
+// Audits Lemma 3 / Theorem 4 by checking H_2 / H_3 connectivity.  For a
+// connected G, h3_connected must hold for any MIS; h2_connected must hold for
+// a level-ranked MIS.
+[[nodiscard]] SubsetDistanceAudit audit_subset_distances(const graph::Graph& g,
+                                                         const MisResult& mis);
+
+// Worst-case complementary-subset separation: the smallest k such that H_k is
+// connected (the max over cuts of the min cross-cut hop distance), or
+// kUnreachable if even H_diam is disconnected.  Exact but O(|S|) BFS runs;
+// intended for tests and the F5 experiment.
+[[nodiscard]] HopCount max_complementary_subset_distance(const graph::Graph& g,
+                                                         const MisResult& mis);
+
+}  // namespace wcds::mis

@@ -1,0 +1,39 @@
+#include "mis/ranking.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wcds::mis {
+
+std::vector<Rank> id_ranking(std::size_t node_count) {
+  std::vector<Rank> ranks(node_count);
+  for (NodeId u = 0; u < node_count; ++u) ranks[u] = {0, u};
+  return ranks;
+}
+
+std::vector<Rank> level_ranking(const graph::SpanningTree& tree) {
+  std::vector<Rank> ranks(tree.node_count());
+  for (NodeId u = 0; u < tree.node_count(); ++u) {
+    ranks[u] = {tree.level[u], u};
+  }
+  return ranks;
+}
+
+std::vector<Rank> degree_ranking(const graph::Graph& g) {
+  const auto n = g.node_count();
+  std::vector<Rank> ranks(n);
+  for (NodeId u = 0; u < n; ++u) {
+    ranks[u] = {static_cast<std::uint32_t>(n - 1 - g.degree(u)), u};
+  }
+  return ranks;
+}
+
+std::vector<NodeId> order_by_rank(std::span<const Rank> ranks) {
+  std::vector<NodeId> order(ranks.size());
+  for (NodeId u = 0; u < ranks.size(); ++u) order[u] = u;
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return ranks[a] < ranks[b]; });
+  return order;
+}
+
+}  // namespace wcds::mis

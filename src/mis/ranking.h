@@ -1,0 +1,43 @@
+// Node rankings (paper, Section 2.2).
+//
+// A rank uniquely identifies a node and totally orders V; the greedy MIS
+// construction (Table 1) repeatedly takes the lowest-rank white node.  The
+// paper uses two static rankings:
+//  - ID ranking:        rank = (0, id)                      (Algorithm II)
+//  - level-based:       rank = (tree level, id), lexicographic (Algorithm I)
+// plus mentions the dynamic (degree, id) ranking, which we provide for the
+// A1 ablation.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/spanning_tree.h"
+#include "graph/types.h"
+
+namespace wcds::mis {
+
+struct Rank {
+  std::uint32_t primary = 0;  // 0 for pure-ID ranking; tree level otherwise
+  NodeId id = kInvalidNode;   // unique tie-breaker
+
+  friend constexpr auto operator<=>(const Rank&, const Rank&) = default;
+};
+
+// rank(u) = (0, u): the plain node-ID ranking of Algorithm II.
+[[nodiscard]] std::vector<Rank> id_ranking(std::size_t node_count);
+
+// rank(u) = (level(u), u): the level-based ranking of Algorithm I.  Off-tree
+// nodes (disconnected graphs) get primary = kUnreachable and sort last.
+[[nodiscard]] std::vector<Rank> level_ranking(const graph::SpanningTree& tree);
+
+// rank(u) = (node_count - 1 - deg(u), u): orders high-degree nodes first, the
+// static flavor of the paper's (degree, ID) example.  Used by ablation A1.
+[[nodiscard]] std::vector<Rank> degree_ranking(const graph::Graph& g);
+
+// Node ids sorted by ascending rank.
+[[nodiscard]] std::vector<NodeId> order_by_rank(std::span<const Rank> ranks);
+
+}  // namespace wcds::mis

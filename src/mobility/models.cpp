@@ -1,0 +1,175 @@
+#include "mobility/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace wcds::mobility {
+
+geom::Point clamp_to_arena(const geom::Point& p, const ArenaBox& arena) {
+  return {std::clamp(p.x, 0.0, arena.width),
+          std::clamp(p.y, 0.0, arena.height)};
+}
+
+// ---------------------------------------------------------------- waypoint
+
+RandomWaypoint::RandomWaypoint(std::vector<geom::Point> initial,
+                               ArenaBox arena, WaypointParams params,
+                               std::uint64_t seed)
+    : positions_(std::move(initial)),
+      state_(positions_.size()),
+      arena_(arena),
+      params_(params),
+      rng_(seed) {
+  if (arena_.width <= 0.0 || arena_.height <= 0.0) {
+    throw std::invalid_argument("RandomWaypoint: empty arena");
+  }
+  if (params_.min_speed <= 0.0 || params_.max_speed < params_.min_speed) {
+    throw std::invalid_argument("RandomWaypoint: bad speed range");
+  }
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    positions_[i] = clamp_to_arena(positions_[i], arena_);
+    pick_waypoint(i);
+  }
+}
+
+void RandomWaypoint::pick_waypoint(std::size_t i) {
+  state_[i].target = {rng_.next_double(0.0, arena_.width),
+                      rng_.next_double(0.0, arena_.height)};
+  state_[i].speed = rng_.next_double(params_.min_speed, params_.max_speed);
+  state_[i].pause_left = 0.0;
+}
+
+void RandomWaypoint::step(double dt) {
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    double budget = dt;
+    while (budget > 0.0) {
+      NodeState& s = state_[i];
+      if (s.pause_left > 0.0) {
+        const double wait = std::min(s.pause_left, budget);
+        s.pause_left -= wait;
+        budget -= wait;
+        if (s.pause_left <= 0.0) pick_waypoint(i);
+        continue;
+      }
+      geom::Point& p = positions_[i];
+      const double dx = s.target.x - p.x;
+      const double dy = s.target.y - p.y;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      const double reach = s.speed * budget;
+      if (reach >= dist) {
+        p = s.target;
+        budget -= s.speed > 0.0 ? dist / s.speed : budget;
+        s.pause_left = params_.pause_time;
+        if (s.pause_left <= 0.0) pick_waypoint(i);
+      } else {
+        p.x += dx / dist * reach;
+        p.y += dy / dist * reach;
+        budget = 0.0;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------- walk
+
+RandomWalk::RandomWalk(std::vector<geom::Point> initial, ArenaBox arena,
+                       WalkParams params, std::uint64_t seed)
+    : positions_(std::move(initial)),
+      heading_(positions_.size()),
+      arena_(arena),
+      params_(params),
+      rng_(seed) {
+  if (arena_.width <= 0.0 || arena_.height <= 0.0) {
+    throw std::invalid_argument("RandomWalk: empty arena");
+  }
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    positions_[i] = clamp_to_arena(positions_[i], arena_);
+    heading_[i] = rng_.next_double(0.0, 2.0 * std::numbers::pi);
+  }
+}
+
+void RandomWalk::step(double dt) {
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    heading_[i] +=
+        (rng_.next_double() - 0.5) * 2.0 * params_.turn_sigma;
+    geom::Point& p = positions_[i];
+    p.x += std::cos(heading_[i]) * params_.speed * dt;
+    p.y += std::sin(heading_[i]) * params_.speed * dt;
+    // Reflect off the walls.
+    if (p.x < 0.0) {
+      p.x = -p.x;
+      heading_[i] = std::numbers::pi - heading_[i];
+    } else if (p.x > arena_.width) {
+      p.x = 2.0 * arena_.width - p.x;
+      heading_[i] = std::numbers::pi - heading_[i];
+    }
+    if (p.y < 0.0) {
+      p.y = -p.y;
+      heading_[i] = -heading_[i];
+    } else if (p.y > arena_.height) {
+      p.y = 2.0 * arena_.height - p.y;
+      heading_[i] = -heading_[i];
+    }
+    p = clamp_to_arena(p, arena_);  // guard extreme dt
+  }
+}
+
+// ------------------------------------------------------------------- group
+
+ReferencePointGroup::ReferencePointGroup(std::vector<geom::Point> initial,
+                                         ArenaBox arena, GroupParams params,
+                                         std::uint64_t seed)
+    : positions_(std::move(initial)),
+      group_(positions_.size()),
+      offsets_(positions_.size()),
+      arena_(arena),
+      params_(params),
+      rng_(seed) {
+  if (params_.groups == 0) {
+    throw std::invalid_argument("ReferencePointGroup: zero groups");
+  }
+  // Reference points start at the group centroids of a round-robin
+  // assignment, then follow their own waypoint process.
+  std::vector<geom::Point> refs(params_.groups, {0.0, 0.0});
+  std::vector<std::size_t> counts(params_.groups, 0);
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    group_[i] = static_cast<std::uint32_t>(i % params_.groups);
+    refs[group_[i]].x += positions_[i].x;
+    refs[group_[i]].y += positions_[i].y;
+    ++counts[group_[i]];
+  }
+  for (std::uint32_t gid = 0; gid < params_.groups; ++gid) {
+    if (counts[gid] > 0) {
+      refs[gid].x /= static_cast<double>(counts[gid]);
+      refs[gid].y /= static_cast<double>(counts[gid]);
+    }
+  }
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    offsets_[i] = {positions_[i].x - refs[group_[i]].x,
+                   positions_[i].y - refs[group_[i]].y};
+  }
+  references_ = std::make_unique<RandomWaypoint>(std::move(refs), arena_,
+                                                 params_.reference, seed + 1);
+}
+
+void ReferencePointGroup::step(double dt) {
+  references_->step(dt);
+  const auto& refs = references_->positions();
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    // Jitter the member offset inside the group disc.
+    geom::Point& off = offsets_[i];
+    off.x += (rng_.next_double() - 0.5) * 0.2 * dt;
+    off.y += (rng_.next_double() - 0.5) * 0.2 * dt;
+    const double r = std::sqrt(off.x * off.x + off.y * off.y);
+    if (r > params_.member_radius && r > 0.0) {
+      off.x *= params_.member_radius / r;
+      off.y *= params_.member_radius / r;
+    }
+    positions_[i] = clamp_to_arena(
+        {refs[group_[i]].x + off.x, refs[group_[i]].y + off.y}, arena_);
+  }
+}
+
+}  // namespace wcds::mobility

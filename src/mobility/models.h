@@ -1,0 +1,128 @@
+// Mobility models for the maintenance experiments (paper, Section 4.2:
+// "The WCDS obtained by this algorithm is easy to maintain whenever the
+// nodes move around or are turned off or on").
+//
+// Three standard ad hoc mobility models, all deterministic given a seed:
+//  * RandomWaypoint — each node picks a waypoint uniformly in the arena,
+//    travels there at its own speed, pauses, repeats.  The MANET-evaluation
+//    default.
+//  * RandomWalk — each node keeps a heading, perturbs it every step, and
+//    reflects off the arena walls.
+//  * ReferencePointGroup — nodes belong to groups; each group's reference
+//    point follows a random waypoint while members jitter around it
+//    (team/convoy scenarios).
+//
+// All models share the interface: construct with the initial deployment,
+// call step(dt) to advance, read positions().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rng.h"
+
+namespace wcds::mobility {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  // Advance all nodes by `dt` time units.
+  virtual void step(double dt) = 0;
+  [[nodiscard]] virtual const std::vector<geom::Point>& positions() const = 0;
+};
+
+struct ArenaBox {
+  double width = 0.0;
+  double height = 0.0;
+};
+
+struct WaypointParams {
+  double min_speed = 0.2;
+  double max_speed = 1.0;
+  double pause_time = 1.0;
+};
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  RandomWaypoint(std::vector<geom::Point> initial, ArenaBox arena,
+                 WaypointParams params, std::uint64_t seed);
+
+  void step(double dt) override;
+  [[nodiscard]] const std::vector<geom::Point>& positions() const override {
+    return positions_;
+  }
+
+ private:
+  struct NodeState {
+    geom::Point target;
+    double speed = 0.0;
+    double pause_left = 0.0;
+  };
+  void pick_waypoint(std::size_t i);
+
+  std::vector<geom::Point> positions_;
+  std::vector<NodeState> state_;
+  ArenaBox arena_;
+  WaypointParams params_;
+  geom::Xoshiro256ss rng_;
+};
+
+struct WalkParams {
+  double speed = 0.5;
+  double turn_sigma = 0.5;  // radians of heading jitter per step
+};
+
+class RandomWalk final : public MobilityModel {
+ public:
+  RandomWalk(std::vector<geom::Point> initial, ArenaBox arena,
+             WalkParams params, std::uint64_t seed);
+
+  void step(double dt) override;
+  [[nodiscard]] const std::vector<geom::Point>& positions() const override {
+    return positions_;
+  }
+
+ private:
+  std::vector<geom::Point> positions_;
+  std::vector<double> heading_;
+  ArenaBox arena_;
+  WalkParams params_;
+  geom::Xoshiro256ss rng_;
+};
+
+struct GroupParams {
+  std::uint32_t groups = 4;
+  double member_radius = 1.5;  // jitter radius around the reference point
+  WaypointParams reference;    // how reference points move
+};
+
+class ReferencePointGroup final : public MobilityModel {
+ public:
+  ReferencePointGroup(std::vector<geom::Point> initial, ArenaBox arena,
+                      GroupParams params, std::uint64_t seed);
+
+  void step(double dt) override;
+  [[nodiscard]] const std::vector<geom::Point>& positions() const override {
+    return positions_;
+  }
+  [[nodiscard]] std::uint32_t group_of(std::size_t i) const {
+    return group_[i];
+  }
+
+ private:
+  std::vector<geom::Point> positions_;
+  std::vector<std::uint32_t> group_;
+  std::vector<geom::Point> offsets_;  // member offset from its reference
+  std::unique_ptr<RandomWaypoint> references_;
+  ArenaBox arena_;
+  GroupParams params_;
+  geom::Xoshiro256ss rng_;
+};
+
+// Clamp a point into the arena (models reflecting walls coarsely).
+[[nodiscard]] geom::Point clamp_to_arena(const geom::Point& p,
+                                         const ArenaBox& arena);
+
+}  // namespace wcds::mobility

@@ -1,0 +1,132 @@
+#include "protocols/mis_maintenance_protocol.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace wcds::protocols {
+
+void MisMaintenanceNode::on_start(sim::DynamicContext& ctx) {
+  // Announce white so lower-ID-complete knowledge can accumulate; a node
+  // with no lower-ID neighbors promotes immediately through reevaluate.
+  ctx.broadcast(kMsgColor, {static_cast<std::uint32_t>(color_)});
+  reevaluate(ctx);
+}
+
+void MisMaintenanceNode::on_receive(sim::DynamicContext& ctx,
+                                    const sim::Message& msg) {
+  if (msg.type != kMsgColor) return;
+  // The sender must still be a neighbor (the runtime already drops dead-link
+  // deliveries, but topology may have churned since).
+  const auto row = ctx.neighbors();
+  if (!std::binary_search(row.begin(), row.end(), msg.src)) return;
+  known_[msg.src] = static_cast<Color>(msg.payload[0]);
+  reevaluate(ctx);
+}
+
+void MisMaintenanceNode::on_link_up(sim::DynamicContext& ctx,
+                                    NodeId neighbor) {
+  // Introduce ourselves to the newcomer; their introduction arrives the
+  // same way.  Conflicts (black-black) resolve through reevaluate once the
+  // colors land.
+  ctx.unicast(neighbor, kMsgColor, {static_cast<std::uint32_t>(color_)});
+}
+
+void MisMaintenanceNode::on_link_down(sim::DynamicContext& ctx,
+                                      NodeId neighbor) {
+  known_.erase(neighbor);
+  reevaluate(ctx);
+}
+
+bool MisMaintenanceNode::knows_black_neighbor(
+    sim::DynamicContext& ctx) const {
+  const auto row = ctx.neighbors();
+  for (const auto& [v, c] : known_) {
+    if (c == Color::kBlack && std::binary_search(row.begin(), row.end(), v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MisMaintenanceNode::may_promote(sim::DynamicContext& ctx) const {
+  // Promotion needs complete knowledge of every lower-ID neighbor, none of
+  // them white (a white one may promote first) or black (we'd be gray).
+  for (NodeId v : ctx.neighbors()) {
+    if (v >= ctx.self()) continue;
+    const auto it = known_.find(v);
+    if (it == known_.end()) return false;
+    if (it->second != Color::kGray) return false;
+  }
+  return true;
+}
+
+void MisMaintenanceNode::set_color(sim::DynamicContext& ctx, Color next) {
+  if (color_ == next) return;
+  color_ = next;
+  ctx.broadcast(kMsgColor, {static_cast<std::uint32_t>(color_)});
+}
+
+void MisMaintenanceNode::reevaluate(sim::DynamicContext& ctx) {
+  switch (color_) {
+    case Color::kBlack: {
+      // Conflict rule: the higher ID yields.
+      for (const auto& [v, c] : known_) {
+        if (c == Color::kBlack && v < ctx.self()) {
+          set_color(ctx,
+                    knows_black_neighbor(ctx) ? Color::kGray : Color::kWhite);
+          // A demotion can re-trigger promotion logic below on later
+          // messages; nothing more to do now.
+          return;
+        }
+      }
+      return;
+    }
+    case Color::kGray: {
+      if (!knows_black_neighbor(ctx)) {
+        set_color(ctx, Color::kWhite);
+        // Fall through logically: a fresh white may promote at once.
+        reevaluate(ctx);
+      }
+      return;
+    }
+    case Color::kWhite: {
+      if (knows_black_neighbor(ctx)) {
+        set_color(ctx, Color::kGray);
+        return;
+      }
+      if (may_promote(ctx)) {
+        set_color(ctx, Color::kBlack);
+      }
+      return;
+    }
+  }
+}
+
+MisMaintenanceSession::MisMaintenanceSession(const graph::Graph& initial,
+                                             const sim::DelayModel& delays)
+    : runtime_(
+          initial,
+          [](NodeId) { return std::make_unique<MisMaintenanceNode>(); },
+          delays) {}
+
+bool MisMaintenanceSession::stabilize(std::uint64_t max_events) {
+  return runtime_.run_to_quiescence(max_events).quiescent;
+}
+
+bool MisMaintenanceSession::update(const graph::Graph& next,
+                                   std::uint64_t max_events) {
+  runtime_.apply_topology(next);
+  return stabilize(max_events);
+}
+
+std::vector<bool> MisMaintenanceSession::mis_mask() const {
+  std::vector<bool> mask(runtime_.node_count(), false);
+  for (NodeId u = 0; u < runtime_.node_count(); ++u) {
+    mask[u] = static_cast<const MisMaintenanceNode&>(
+                  const_cast<sim::DynamicRuntime&>(runtime_).node(u))
+                  .is_dominator();
+  }
+  return mask;
+}
+
+}  // namespace wcds::protocols

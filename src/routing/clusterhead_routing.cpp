@@ -1,0 +1,144 @@
+#include "routing/clusterhead_routing.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace wcds::routing {
+
+namespace {
+constexpr std::uint32_t kNoHead = 0xFFFFFFFFu;
+}
+
+ClusterheadRouter::ClusterheadRouter(const graph::Graph& g,
+                                     const core::Algorithm2Output& wcds)
+    : g_(g) {
+  const std::size_t n = g.node_count();
+  heads_ = wcds.result.mis_dominators;  // ascending by construction
+  index_.assign(n, kNoHead);
+  for (std::uint32_t i = 0; i < heads_.size(); ++i) index_[heads_[i]] = i;
+
+  // Clusterhead assignment: self for heads, lowest-ID 1-hop MIS-dominator
+  // otherwise (the 1HopDomList is sorted).
+  clusterhead_.assign(n, kInvalidNode);
+  for (NodeId u = 0; u < n; ++u) {
+    if (index_[u] != kNoHead) {
+      clusterhead_[u] = u;
+    } else if (!wcds.lists.one_hop[u].empty()) {
+      clusterhead_[u] = wcds.lists.one_hop[u].front();
+    } else {
+      throw std::invalid_argument(
+          "ClusterheadRouter: node without a 1-hop dominator (S must "
+          "dominate)");
+    }
+  }
+
+  // Overlay edges: 2-hop pairs from the 2HopDomLists of the heads, 3-hop
+  // pairs from the (bidirectional) 3HopDomLists Algorithm II populated.
+  overlay_.assign(heads_.size(), {});
+  const auto add_edge = [&](NodeId a, NodeId b, NodeId via1, NodeId via2) {
+    auto& row = overlay_[index_[a]];
+    const std::uint32_t to = index_[b];
+    if (std::any_of(row.begin(), row.end(),
+                    [&](const OverlayEdge& e) { return e.to == to; })) {
+      return;
+    }
+    row.push_back({to, via1, via2});
+    ++overlay_edges_;
+  };
+  for (NodeId a : heads_) {
+    for (const core::TwoHopEntry& e : wcds.lists.two_hop[a]) {
+      add_edge(a, e.dom, e.via, kInvalidNode);
+    }
+    for (const core::ThreeHopEntry& e : wcds.lists.three_hop[a]) {
+      add_edge(a, e.dom, e.via1, e.via2);
+    }
+  }
+
+  // Routing tables: BFS per head over the overlay.
+  const std::size_t h = heads_.size();
+  next_.assign(h * h, kNoHead);
+  std::vector<std::uint32_t> parent(h);
+  for (std::uint32_t src = 0; src < h; ++src) {
+    std::fill(parent.begin(), parent.end(), kNoHead);
+    parent[src] = src;
+    std::queue<std::uint32_t> frontier;
+    frontier.push(src);
+    while (!frontier.empty()) {
+      const std::uint32_t a = frontier.front();
+      frontier.pop();
+      for (const OverlayEdge& e : overlay_[a]) {
+        if (parent[e.to] == kNoHead) {
+          parent[e.to] = a;
+          frontier.push(e.to);
+        }
+      }
+    }
+    // next_[src][b] = first step from src toward b: walk parents from b.
+    for (std::uint32_t b = 0; b < h; ++b) {
+      if (b == src || parent[b] == kNoHead) continue;
+      std::uint32_t step = b;
+      while (parent[step] != src) step = parent[step];
+      next_[src * h + b] = step;
+    }
+  }
+}
+
+NodeId ClusterheadRouter::next_clusterhead(NodeId from_head,
+                                           NodeId to_head) const {
+  const std::uint32_t from = index_[from_head];
+  const std::uint32_t to = index_[to_head];
+  if (from == kNoHead || to == kNoHead) return kInvalidNode;
+  if (from == to) return from_head;
+  const std::uint32_t step = next_[from * heads_.size() + to];
+  return step == kNoHead ? kInvalidNode : heads_[step];
+}
+
+std::vector<NodeId> ClusterheadRouter::expand_overlay_edge(NodeId a,
+                                                           NodeId b) const {
+  const auto& row = overlay_[index_[a]];
+  const auto it = std::find_if(row.begin(), row.end(), [&](const OverlayEdge& e) {
+    return e.to == index_[b];
+  });
+  if (it == row.end()) {
+    throw std::logic_error("expand_overlay_edge: not an overlay edge");
+  }
+  std::vector<NodeId> hop_path;
+  hop_path.push_back(it->via1);
+  if (it->via2 != kInvalidNode) hop_path.push_back(it->via2);
+  hop_path.push_back(b);
+  return hop_path;
+}
+
+Route ClusterheadRouter::route(NodeId src, NodeId dst) const {
+  Route r;
+  r.path.push_back(src);
+  if (src == dst) {
+    r.delivered = true;
+    return r;
+  }
+  if (g_.has_edge(src, dst)) {  // adjacent pairs use the direct edge
+    r.path.push_back(dst);
+    r.delivered = true;
+    return r;
+  }
+  const NodeId src_head = clusterhead_[src];
+  const NodeId dst_head = clusterhead_[dst];
+  if (src != src_head) r.path.push_back(src_head);
+
+  const std::size_t h = heads_.size();
+  std::uint32_t at = index_[src_head];
+  const std::uint32_t goal = index_[dst_head];
+  while (at != goal) {
+    const std::uint32_t step = next_[at * h + goal];
+    if (step == kNoHead) return r;  // overlay disconnected: undeliverable
+    const auto leg = expand_overlay_edge(heads_[at], heads_[step]);
+    r.path.insert(r.path.end(), leg.begin(), leg.end());
+    at = step;
+  }
+  if (dst != dst_head) r.path.push_back(dst);
+  r.delivered = true;
+  return r;
+}
+
+}  // namespace wcds::routing

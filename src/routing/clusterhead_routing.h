@@ -1,0 +1,107 @@
+// Clusterhead unicast routing over the Algorithm II spanner (paper, §4.2).
+//
+// "For any pair of adjacent nodes in G, the unicast routing between them can
+//  be performed in a single hop.  For any pair of non-adjacent nodes, the
+//  unicast routing will follow the min-hop path in the spanner G'.  The
+//  MIS-dominators (clusterheads) maintain the routing tables.  If a non
+//  MIS-dominator node needs to send a packet to a non-adjacent node, it
+//  sends the packet along with the destination's ID to its clusterhead.  The
+//  clusterhead uses its routing tables to identify the next clusterhead on
+//  the path to the destination's clusterhead, and uses its 2HopDomList and
+//  3HopDomList to identify the path to the next clusterhead."
+//
+// Concretely: the clusterhead overlay graph H has the MIS-dominators as
+// vertices and an edge per 2-hop pair (expanded through the 2HopDomList
+// intermediate) and per bridged 3-hop pair (expanded through the selected
+// additional-dominator path u-v-x-w).  Next-clusterhead tables are built by
+// BFS per clusterhead over H.  Every expanded hop is a black (spanner) edge.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "wcds/algorithm2.h"
+
+namespace wcds::routing {
+
+struct Route {
+  std::vector<NodeId> path;  // src first, dst last; consecutive = G-adjacent
+  bool delivered = false;
+
+  [[nodiscard]] std::size_t hops() const {
+    return path.empty() ? 0 : path.size() - 1;
+  }
+};
+
+class ClusterheadRouter {
+ public:
+  // Builds clusterhead assignments, the overlay and the routing tables from
+  // an Algorithm II run on g.
+  ClusterheadRouter(const graph::Graph& g, const core::Algorithm2Output& wcds);
+
+  // Route a unicast packet.  Adjacent pairs use the direct edge; everything
+  // else travels src -> clusterhead -> ... -> clusterhead -> dst over black
+  // edges only.
+  [[nodiscard]] Route route(NodeId src, NodeId dst) const;
+
+  // The clusterhead serving node u (u itself if u is an MIS-dominator).
+  [[nodiscard]] NodeId clusterhead(NodeId u) const { return clusterhead_[u]; }
+
+  // The next clusterhead after head `from` on the overlay path toward head
+  // `to`; kInvalidNode if unreachable.  This is exactly the routing-table
+  // entry the paper stores at each MIS-dominator.
+  [[nodiscard]] NodeId next_clusterhead(NodeId from_head, NodeId to_head) const;
+
+  // Expand the overlay edge from head `from` to its overlay-neighbor head
+  // `to` into the G-path between them (excluding `from`, including `to`):
+  // the 2HopDomList / 3HopDomList lookup of Section 4.2.
+  [[nodiscard]] std::vector<NodeId> overlay_leg(NodeId from_head,
+                                                NodeId to_head) const {
+    return expand_overlay_edge(from_head, to_head);
+  }
+
+  [[nodiscard]] bool is_clusterhead(NodeId u) const {
+    return index_[u] != 0xFFFFFFFFu;
+  }
+
+  // Diagnostics for experiment T5.
+  [[nodiscard]] std::size_t clusterhead_count() const {
+    return heads_.size();
+  }
+  [[nodiscard]] std::size_t overlay_edge_count() const {
+    return overlay_edges_;
+  }
+  // Total next-hop table entries held across all clusterheads.
+  [[nodiscard]] std::size_t table_entries() const {
+    return heads_.size() * heads_.size();
+  }
+
+ private:
+  // Dense clusterhead index; kInvalidNode for non-heads.
+  [[nodiscard]] std::uint32_t head_index(NodeId u) const { return index_[u]; }
+
+  // Expand one overlay edge from head `a` to head `b` into the G-path
+  // between them (excluding `a`, including `b`).
+  [[nodiscard]] std::vector<NodeId> expand_overlay_edge(NodeId a, NodeId b) const;
+
+  const graph::Graph& g_;
+  std::vector<NodeId> clusterhead_;
+  std::vector<NodeId> heads_;          // MIS-dominators, ascending
+  std::vector<std::uint32_t> index_;   // node -> dense head index
+  // Per ordered head pair: the intermediate(s), or empty if not an overlay
+  // edge.  Stored sparsely per head.
+  struct OverlayEdge {
+    std::uint32_t to;                  // dense head index
+    NodeId via1 = kInvalidNode;        // always set
+    NodeId via2 = kInvalidNode;        // set for 3-hop edges
+  };
+  std::vector<std::vector<OverlayEdge>> overlay_;
+  std::size_t overlay_edges_ = 0;
+  // next_[a * heads + b]: dense index of the next head after a toward b.
+  std::vector<std::uint32_t> next_;
+};
+
+}  // namespace wcds::routing

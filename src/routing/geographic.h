@@ -1,0 +1,39 @@
+// Greedy geographic forwarding — the position-*based* routing baseline
+// (GPSR's greedy mode, Karp & Kung [12], which the paper contrasts with its
+// position-less clusterhead scheme).
+//
+// Each node forwards to the neighbor strictly closest to the destination;
+// when no neighbor improves on the current node, greedy mode is *stuck* in
+// a local minimum (a void).  Full GPSR escapes via perimeter routing on a
+// planarized subgraph; this baseline reports the failure instead, which is
+// exactly the comparison the T5 experiment needs: position-based greedy
+// needs coordinates *and* still fails in voids, while clusterhead routing
+// needs neither coordinates nor recovery.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace wcds::routing {
+
+struct GeoRoute {
+  bool delivered = false;
+  bool stuck = false;  // failed in a local minimum (void)
+  std::vector<NodeId> path;
+
+  [[nodiscard]] std::size_t hops() const {
+    return path.empty() ? 0 : path.size() - 1;
+  }
+};
+
+// Greedy forwarding from src toward dst over g (any connected spanning
+// subgraph of the UDG works: the UDG itself, GG, or RNG).
+[[nodiscard]] GeoRoute greedy_geographic_route(
+    const graph::Graph& g, std::span<const geom::Point> points, NodeId src,
+    NodeId dst);
+
+}  // namespace wcds::routing

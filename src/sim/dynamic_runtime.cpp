@@ -1,0 +1,169 @@
+#include "sim/dynamic_runtime.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wcds::sim {
+
+std::span<const NodeId> DynamicContext::neighbors() const {
+  return runtime_.neighbors(self_);
+}
+
+std::size_t DynamicContext::node_count() const {
+  return runtime_.node_count();
+}
+
+void DynamicContext::broadcast(MessageType type,
+                               std::vector<std::uint32_t> payload) {
+  runtime_.send(self_, now_, kBroadcastDst, type, std::move(payload));
+}
+
+void DynamicContext::unicast(NodeId dst, MessageType type,
+                             std::vector<std::uint32_t> payload) {
+  runtime_.send(self_, now_, dst, type, std::move(payload));
+}
+
+DynamicRuntime::DynamicRuntime(const graph::Graph& initial,
+                               const NodeFactory& factory,
+                               const DelayModel& delays)
+    : delays_(delays), delay_rng_(delays.seed + 1) {
+  if (delays_.min_delay < 1 || delays_.max_delay < delays_.min_delay) {
+    throw std::invalid_argument("DynamicRuntime: invalid delay model");
+  }
+  adjacency_.resize(initial.node_count());
+  for (NodeId u = 0; u < initial.node_count(); ++u) {
+    const auto row = initial.neighbors(u);
+    adjacency_[u].assign(row.begin(), row.end());
+  }
+  nodes_.reserve(initial.node_count());
+  for (NodeId u = 0; u < initial.node_count(); ++u) {
+    nodes_.push_back(factory(u));
+    if (!nodes_.back()) {
+      throw std::invalid_argument("DynamicRuntime: factory returned null");
+    }
+  }
+}
+
+bool DynamicRuntime::has_edge(NodeId u, NodeId v) const {
+  const auto& row = adjacency_[u];
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+SimTime DynamicRuntime::schedule_delivery(NodeId src, NodeId recipient,
+                                          SimTime now) {
+  SimTime delay = delays_.min_delay;
+  if (!delays_.is_unit()) {
+    delay += delay_rng_.next_below(delays_.max_delay - delays_.min_delay + 1);
+  }
+  SimTime at = now + delay;
+  if (!delays_.is_unit()) {
+    auto [it, inserted] = link_clock_.try_emplace({src, recipient}, at);
+    if (!inserted) {
+      at = std::max(at, it->second + 1);
+      it->second = at;
+    }
+  }
+  return at;
+}
+
+void DynamicRuntime::send(NodeId src, SimTime now, NodeId dst,
+                          MessageType type,
+                          std::vector<std::uint32_t> payload) {
+  Message msg{src, dst, type, std::move(payload)};
+  if (dst == kBroadcastDst) {
+    ++stats_.transmissions;
+    for (NodeId v : adjacency_[src]) {
+      queue_.emplace(std::pair{schedule_delivery(src, v, now), send_seq_},
+                     PendingDelivery{msg, v});
+      ++send_seq_;
+    }
+  } else {
+    ++stats_.transmissions;
+    if (!has_edge(src, dst)) {
+      ++stats_.dropped;  // stale neighbor knowledge: the radio misses
+      return;
+    }
+    queue_.emplace(std::pair{schedule_delivery(src, dst, now), send_seq_},
+                   PendingDelivery{std::move(msg), dst});
+    ++send_seq_;
+  }
+}
+
+DynamicRunStats DynamicRuntime::run_to_quiescence(std::uint64_t max_events) {
+  if (!started_) {
+    started_ = true;
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      DynamicContext ctx(*this, u, stats_.now);
+      nodes_[u]->on_start(ctx);
+    }
+  }
+  std::uint64_t events = 0;
+  while (!queue_.empty()) {
+    if (++events > max_events) {
+      stats_.quiescent = false;
+      return stats_;
+    }
+    auto first = queue_.begin();
+    const SimTime at = first->first.first;
+    PendingDelivery delivery = std::move(first->second);
+    queue_.erase(first);
+    stats_.now = std::max(stats_.now, at);
+    // The link may have vanished while the message was in flight.
+    if (!has_edge(delivery.message.src, delivery.recipient)) {
+      ++stats_.dropped;
+      continue;
+    }
+    ++stats_.deliveries;
+    DynamicContext ctx(*this, delivery.recipient, at);
+    nodes_[delivery.recipient]->on_receive(ctx, delivery.message);
+  }
+  stats_.quiescent = true;
+  return stats_;
+}
+
+void DynamicRuntime::apply_topology(const graph::Graph& next) {
+  if (next.node_count() != nodes_.size()) {
+    throw std::invalid_argument("apply_topology: node count mismatch");
+  }
+  // Diff old vs new adjacency per node; collect changed edges once (u < v).
+  std::vector<std::pair<NodeId, NodeId>> downs;
+  std::vector<std::pair<NodeId, NodeId>> ups;
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    const auto& old_row = adjacency_[u];
+    const auto new_row = next.neighbors(u);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < old_row.size() || j < new_row.size()) {
+      if (j == new_row.size() ||
+          (i < old_row.size() && old_row[i] < new_row[j])) {
+        if (u < old_row[i]) downs.emplace_back(u, old_row[i]);
+        ++i;
+      } else if (i == old_row.size() || new_row[j] < old_row[i]) {
+        if (u < new_row[j]) ups.emplace_back(u, new_row[j]);
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+  }
+  // Install the new topology first so handlers see the post-change world.
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    const auto row = next.neighbors(u);
+    adjacency_[u].assign(row.begin(), row.end());
+  }
+  for (const auto& [u, v] : downs) {
+    DynamicContext cu(*this, u, stats_.now);
+    nodes_[u]->on_link_down(cu, v);
+    DynamicContext cv(*this, v, stats_.now);
+    nodes_[v]->on_link_down(cv, u);
+  }
+  for (const auto& [u, v] : ups) {
+    DynamicContext cu(*this, u, stats_.now);
+    nodes_[u]->on_link_up(cu, v);
+    DynamicContext cv(*this, v, stats_.now);
+    nodes_[v]->on_link_up(cv, u);
+  }
+}
+
+}  // namespace wcds::sim

@@ -1,0 +1,123 @@
+// Discrete-event runtime over a *changing* unit-disk topology.
+//
+// The static Runtime (runtime.h) runs one protocol to quiescence on a fixed
+// graph.  Maintenance protocols (paper, Section 4.2) react to link changes,
+// so this runtime:
+//  - keeps a mutable adjacency, updated between quiescent periods via
+//    apply_topology(), which invokes on_link_up / on_link_down on both
+//    endpoints of every changed edge;
+//  - drops in-flight messages whose link disappeared before delivery (the
+//    radio reality a maintenance protocol must survive) and unicasts sent
+//    to a vanished neighbor, counting both;
+//  - carries simulated time and statistics across periods.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geom/rng.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "sim/message.h"
+#include "sim/runtime.h"
+
+namespace wcds::sim {
+
+class DynamicRuntime;
+
+class DynamicContext {
+ public:
+  DynamicContext(DynamicRuntime& runtime, NodeId self, SimTime now)
+      : runtime_(runtime), self_(self), now_(now) {}
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::span<const NodeId> neighbors() const;
+  [[nodiscard]] std::size_t node_count() const;
+
+  void broadcast(MessageType type, std::vector<std::uint32_t> payload = {});
+  // Unicasts to a non-neighbor are silently dropped (and counted): the
+  // sender may legitimately hold stale neighbor knowledge.
+  void unicast(NodeId dst, MessageType type,
+               std::vector<std::uint32_t> payload = {});
+
+ private:
+  DynamicRuntime& runtime_;
+  NodeId self_;
+  SimTime now_;
+};
+
+class DynamicProtocolNode {
+ public:
+  virtual ~DynamicProtocolNode() = default;
+  virtual void on_start(DynamicContext& ctx) = 0;
+  virtual void on_receive(DynamicContext& ctx, const Message& msg) = 0;
+  virtual void on_link_up(DynamicContext& ctx, NodeId neighbor) = 0;
+  virtual void on_link_down(DynamicContext& ctx, NodeId neighbor) = 0;
+};
+
+struct DynamicRunStats {
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t dropped = 0;  // in-flight or stale-unicast losses
+  SimTime now = 0;
+  bool quiescent = true;
+};
+
+class DynamicRuntime {
+ public:
+  using NodeFactory =
+      std::function<std::unique_ptr<DynamicProtocolNode>(NodeId)>;
+
+  // Starts with `initial` as the topology; on_start fires on the first
+  // run_to_quiescence() call.
+  DynamicRuntime(const graph::Graph& initial, const NodeFactory& factory,
+                 const DelayModel& delays = DelayModel::unit());
+
+  // Deliver everything outstanding.  First call also runs on_start.
+  DynamicRunStats run_to_quiescence(std::uint64_t max_events = 10'000'000);
+
+  // Replace the topology; fires on_link_down / on_link_up for every changed
+  // edge (both endpoints, deterministic ascending order), then returns —
+  // call run_to_quiescence() to let the protocol settle.
+  void apply_topology(const graph::Graph& next);
+
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const {
+    return adjacency_[u];
+  }
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] DynamicProtocolNode& node(NodeId u) { return *nodes_[u]; }
+  [[nodiscard]] const DynamicRunStats& stats() const { return stats_; }
+
+ private:
+  friend class DynamicContext;
+
+  struct PendingDelivery {
+    Message message;
+    NodeId recipient;
+  };
+
+  void send(NodeId src, SimTime now, NodeId dst, MessageType type,
+            std::vector<std::uint32_t> payload);
+  // Delivery time honoring the delay model and per-link FIFO (radio links
+  // never reorder; protocol state machines rely on it).
+  [[nodiscard]] SimTime schedule_delivery(NodeId src, NodeId recipient,
+                                          SimTime now);
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<std::unique_ptr<DynamicProtocolNode>> nodes_;
+  std::map<std::pair<SimTime, std::uint64_t>, PendingDelivery> queue_;
+  std::uint64_t send_seq_ = 0;
+  DynamicRunStats stats_;
+  DelayModel delays_;
+  geom::Xoshiro256ss delay_rng_;
+  std::map<std::pair<NodeId, NodeId>, SimTime> link_clock_;
+  bool started_ = false;
+};
+
+}  // namespace wcds::sim

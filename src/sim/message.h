@@ -1,0 +1,32 @@
+// Messages exchanged by simulated protocol nodes.
+//
+// The cost model matches the paper's: one *transmission* is one message,
+// whether unicast or local broadcast (a single radio transmission reaches
+// every UDG neighbor).  Message complexity counts transmissions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace wcds::sim {
+
+// Destination sentinel for a local broadcast.
+inline constexpr NodeId kBroadcastDst = kInvalidNode;
+
+// Simulated time; every transmission takes one time unit to deliver.
+using SimTime = std::uint64_t;
+
+// Protocol-defined message type tag.  Each protocol owns its own enum and
+// registers names for the stats breakdown.
+using MessageType = std::uint16_t;
+
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kBroadcastDst;  // kBroadcastDst or a UDG neighbor of src
+  MessageType type = 0;
+  std::vector<std::uint32_t> payload;
+};
+
+}  // namespace wcds::sim

@@ -1,0 +1,105 @@
+#include "sim/runtime.h"
+
+#include <stdexcept>
+
+namespace wcds::sim {
+
+std::span<const NodeId> Context::neighbors() const {
+  return runtime_.graph_.neighbors(self_);
+}
+
+std::size_t Context::node_count() const { return runtime_.graph_.node_count(); }
+
+void Context::broadcast(MessageType type, std::vector<std::uint32_t> payload) {
+  runtime_.send(self_, now_, kBroadcastDst, type, std::move(payload));
+}
+
+void Context::unicast(NodeId dst, MessageType type,
+                      std::vector<std::uint32_t> payload) {
+  runtime_.send(self_, now_, dst, type, std::move(payload));
+}
+
+Runtime::Runtime(const graph::Graph& g, const NodeFactory& factory,
+                 const DelayModel& delays)
+    : graph_(g), delays_(delays), delay_rng_(delays.seed + 1) {
+  if (delays_.min_delay < 1 || delays_.max_delay < delays_.min_delay) {
+    throw std::invalid_argument("Runtime: invalid delay model");
+  }
+  nodes_.reserve(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    nodes_.push_back(factory(u));
+    if (!nodes_.back()) {
+      throw std::invalid_argument("Runtime: factory returned null node");
+    }
+  }
+}
+
+SimTime Runtime::schedule_delivery(NodeId src, NodeId recipient, SimTime now) {
+  SimTime delay = delays_.min_delay;
+  if (!delays_.is_unit()) {
+    delay += delay_rng_.next_below(delays_.max_delay - delays_.min_delay + 1);
+  }
+  SimTime at = now + delay;
+  if (!delays_.is_unit()) {
+    // Radio links never reorder: a later send on the same link arrives
+    // strictly after every earlier one.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(src) << 32) | recipient;
+    auto [it, inserted] = link_clock_.try_emplace(key, at);
+    if (!inserted) {
+      at = std::max(at, it->second + 1);
+      it->second = at;
+    }
+  }
+  return at;
+}
+
+void Runtime::send(NodeId src, SimTime now, NodeId dst, MessageType type,
+                   std::vector<std::uint32_t> payload) {
+  ++stats_.transmissions;
+  ++stats_.per_type[type];
+  Message msg{src, dst, type, std::move(payload)};
+  if (dst == kBroadcastDst) {
+    for (NodeId v : graph_.neighbors(src)) {
+      const SimTime at = schedule_delivery(src, v, now);
+      queue_.emplace(std::pair{at, send_seq_},
+                     PendingDelivery{at, send_seq_, msg, v});
+      ++send_seq_;
+    }
+  } else {
+    if (!graph_.has_edge(src, dst)) {
+      throw std::logic_error("Runtime: unicast to a non-neighbor");
+    }
+    const SimTime at = schedule_delivery(src, dst, now);
+    queue_.emplace(std::pair{at, send_seq_},
+                   PendingDelivery{at, send_seq_, std::move(msg), dst});
+    ++send_seq_;
+  }
+}
+
+RunStats Runtime::run(std::uint64_t max_events) {
+  if (ran_) throw std::logic_error("Runtime: run() called twice");
+  ran_ = true;
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    Context ctx(*this, u, 0);
+    nodes_[u]->on_start(ctx);
+  }
+  std::uint64_t events = 0;
+  while (!queue_.empty()) {
+    if (++events > max_events) {
+      stats_.quiescent = false;
+      return stats_;
+    }
+    auto first = queue_.begin();
+    PendingDelivery delivery = std::move(first->second);
+    queue_.erase(first);
+    ++stats_.deliveries;
+    stats_.completion_time = delivery.time;
+    Context ctx(*this, delivery.recipient, delivery.time);
+    nodes_[delivery.recipient]->on_receive(ctx, delivery.message);
+  }
+  stats_.quiescent = true;
+  return stats_;
+}
+
+}  // namespace wcds::sim

@@ -1,0 +1,145 @@
+// Discrete-event message-passing runtime over a unit-disk graph.
+//
+// Execution model:
+//  - At time 0 every node's on_start runs (ascending id order).
+//  - A transmission sent at time t is delivered after a per-recipient delay:
+//    1 time unit under the default synchronous model, or a seeded random
+//    delay in [min_delay, max_delay] under an asynchronous DelayModel.
+//    Per-(sender, recipient) FIFO order is always preserved (radio links
+//    do not reorder).
+//  - Deliveries are processed in (time, global send sequence) order, so runs
+//    are exactly reproducible given the seed.
+//  - The run ends at quiescence (no pending deliveries) or when the event
+//    budget trips (runaway-protocol guard).
+//
+// Cost accounting matches the paper: message complexity = number of
+// transmissions (a broadcast is ONE message); time complexity = the delivery
+// time of the last message.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/rng.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "sim/message.h"
+
+namespace wcds::sim {
+
+// Message-delay regime.  The default is the paper's synchronous unit-delay
+// analysis model; the asynchronous variant stresses protocols with seeded
+// random per-delivery delays (FIFO per link) — the paper's algorithms are
+// event-driven and must stay correct under it.
+struct DelayModel {
+  SimTime min_delay = 1;
+  SimTime max_delay = 1;
+  std::uint64_t seed = 0;  // draws are deterministic given the seed
+
+  [[nodiscard]] static DelayModel unit() { return {}; }
+  [[nodiscard]] static DelayModel uniform(SimTime min_delay, SimTime max_delay,
+                                          std::uint64_t seed) {
+    return {min_delay, max_delay, seed};
+  }
+  [[nodiscard]] bool is_unit() const {
+    return min_delay == 1 && max_delay == 1;
+  }
+};
+
+class Runtime;
+
+// Per-delivery view handed to protocol handlers; the only way a node may act
+// on the network.
+class Context {
+ public:
+  Context(Runtime& runtime, NodeId self, SimTime now)
+      : runtime_(runtime), self_(self), now_(now) {}
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] std::span<const NodeId> neighbors() const;
+  [[nodiscard]] std::size_t node_count() const;
+
+  // One radio transmission heard by every neighbor.
+  void broadcast(MessageType type, std::vector<std::uint32_t> payload = {});
+
+  // One transmission addressed to a single neighbor (must be adjacent).
+  void unicast(NodeId dst, MessageType type,
+               std::vector<std::uint32_t> payload = {});
+
+ private:
+  Runtime& runtime_;
+  NodeId self_;
+  SimTime now_;
+};
+
+// A protocol's per-node state machine.
+class ProtocolNode {
+ public:
+  virtual ~ProtocolNode() = default;
+  virtual void on_start(Context& ctx) = 0;
+  virtual void on_receive(Context& ctx, const Message& msg) = 0;
+};
+
+struct RunStats {
+  std::uint64_t transmissions = 0;          // paper's message complexity
+  std::uint64_t deliveries = 0;             // per-recipient copies
+  SimTime completion_time = 0;              // paper's time complexity
+  std::map<MessageType, std::uint64_t> per_type;
+  bool quiescent = false;                   // false iff the budget tripped
+};
+
+class Runtime {
+ public:
+  using NodeFactory = std::function<std::unique_ptr<ProtocolNode>(NodeId)>;
+
+  Runtime(const graph::Graph& g, const NodeFactory& factory,
+          const DelayModel& delays = DelayModel::unit());
+
+  // Run until quiescence.  `max_events` guards against protocol bugs.
+  RunStats run(std::uint64_t max_events = 100'000'000);
+
+  [[nodiscard]] const graph::Graph& topology() const { return graph_; }
+  [[nodiscard]] ProtocolNode& node(NodeId u) { return *nodes_[u]; }
+  [[nodiscard]] const ProtocolNode& node(NodeId u) const { return *nodes_[u]; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  friend class Context;
+
+  struct PendingDelivery {
+    SimTime time;
+    std::uint64_t seq;  // global send order; makes processing deterministic
+    Message message;
+    NodeId recipient;
+  };
+
+  void send(NodeId src, SimTime now, NodeId dst, MessageType type,
+            std::vector<std::uint32_t> payload);
+
+  // Delivery time for one copy, honoring the delay model and per-link FIFO.
+  [[nodiscard]] SimTime schedule_delivery(NodeId src, NodeId recipient,
+                                          SimTime now);
+
+  const graph::Graph& graph_;
+  std::vector<std::unique_ptr<ProtocolNode>> nodes_;
+  // Min-queue by (time, seq).  std::map of deque keeps insertion order per
+  // time step without a comparator on Message.
+  std::map<std::pair<SimTime, std::uint64_t>, PendingDelivery> queue_;
+  std::uint64_t send_seq_ = 0;
+  RunStats stats_;
+  bool ran_ = false;
+  DelayModel delays_;
+  geom::Xoshiro256ss delay_rng_;
+  // Last scheduled delivery per (src, recipient) link, for FIFO enforcement.
+  std::unordered_map<std::uint64_t, SimTime> link_clock_;
+};
+
+}  // namespace wcds::sim

@@ -1,0 +1,163 @@
+#include "spanner/analysis.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/bfs.h"
+#include "graph/dijkstra.h"
+
+namespace wcds::spanner {
+namespace {
+
+// Evenly strided source sample covering [0, n): deterministic and
+// position-independent.
+std::vector<NodeId> sample_sources(std::size_t n, std::size_t max_sources) {
+  std::vector<NodeId> sources;
+  if (n == 0) return sources;
+  const std::size_t count = std::min(n, max_sources);
+  sources.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sources.push_back(static_cast<NodeId>(i * n / count));
+  }
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  return sources;
+}
+
+}  // namespace
+
+SparsenessStats sparseness(const graph::Graph& g, const graph::Graph& spanner,
+                           const core::WcdsResult& wcds) {
+  SparsenessStats stats;
+  stats.nodes = g.node_count();
+  stats.udg_edges = g.edge_count();
+  stats.spanner_edges = spanner.edge_count();
+  if (stats.nodes > 0) {
+    stats.edges_per_node =
+        static_cast<double>(stats.spanner_edges) /
+        static_cast<double>(stats.nodes);
+  }
+  if (!wcds.mis_dominators.empty()) {
+    const std::size_t gray = stats.nodes - wcds.dominators.size();
+    stats.theorem10_bound = 9 * gray + 47 * wcds.mis_dominators.size();
+  }
+  return stats;
+}
+
+TopologicalDilationStats topological_dilation(const graph::Graph& g,
+                                              const graph::Graph& spanner,
+                                              std::size_t max_sources) {
+  if (spanner.node_count() != g.node_count()) {
+    throw std::invalid_argument("topological_dilation: node count mismatch");
+  }
+  TopologicalDilationStats stats;
+  double ratio_sum = 0.0;
+  for (NodeId u : sample_sources(g.node_count(), max_sources)) {
+    const auto in_g = graph::bfs_distances(g, u);
+    const auto in_spanner = graph::bfs_distances(spanner, u);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == u || in_g[v] == kUnreachable || in_g[v] == 1) continue;
+      if (in_spanner[v] == kUnreachable) {
+        stats.all_reachable = false;
+        continue;
+      }
+      const double ratio = static_cast<double>(in_spanner[v]) /
+                           static_cast<double>(in_g[v]);
+      stats.max_ratio = std::max(stats.max_ratio, ratio);
+      ratio_sum += ratio;
+      const std::int64_t slack = static_cast<std::int64_t>(in_spanner[v]) -
+                                 (3 * static_cast<std::int64_t>(in_g[v]) + 2);
+      stats.max_slack = std::max(stats.max_slack, slack);
+      ++stats.pairs;
+    }
+  }
+  if (stats.pairs > 0) {
+    stats.mean_ratio = ratio_sum / static_cast<double>(stats.pairs);
+  }
+  return stats;
+}
+
+double StretchDistribution::percentile(double q) const {
+  if (pairs == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(pairs) + 0.999999);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= target) return 1.0 + (static_cast<double>(i) + 1.0) * width;
+  }
+  return max_ratio;
+}
+
+StretchDistribution topological_stretch_distribution(const graph::Graph& g,
+                                                     const graph::Graph& spanner,
+                                                     std::size_t max_sources,
+                                                     double bucket_width,
+                                                     std::size_t bucket_count) {
+  if (spanner.node_count() != g.node_count()) {
+    throw std::invalid_argument(
+        "topological_stretch_distribution: node count mismatch");
+  }
+  if (bucket_width <= 0.0 || bucket_count == 0) {
+    throw std::invalid_argument(
+        "topological_stretch_distribution: bad bucket spec");
+  }
+  StretchDistribution dist;
+  dist.width = bucket_width;
+  dist.buckets.assign(bucket_count, 0);
+  for (NodeId u : sample_sources(g.node_count(), max_sources)) {
+    const auto in_g = graph::bfs_distances(g, u);
+    const auto in_spanner = graph::bfs_distances(spanner, u);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == u || in_g[v] == kUnreachable || in_g[v] == 1) continue;
+      if (in_spanner[v] == kUnreachable) continue;
+      const double ratio = static_cast<double>(in_spanner[v]) /
+                           static_cast<double>(in_g[v]);
+      dist.max_ratio = std::max(dist.max_ratio, ratio);
+      const auto bucket = std::min(
+          bucket_count - 1,
+          static_cast<std::size_t>(std::max(0.0, ratio - 1.0) / bucket_width));
+      ++dist.buckets[bucket];
+      ++dist.pairs;
+    }
+  }
+  return dist;
+}
+
+GeometricDilationStats geometric_dilation(const graph::Graph& g,
+                                          const graph::Graph& spanner,
+                                          std::span<const geom::Point> points,
+                                          std::size_t max_sources) {
+  if (spanner.node_count() != g.node_count() ||
+      points.size() != g.node_count()) {
+    throw std::invalid_argument("geometric_dilation: size mismatch");
+  }
+  GeometricDilationStats stats;
+  double ratio_sum = 0.0;
+  for (NodeId u : sample_sources(g.node_count(), max_sources)) {
+    const auto hops_in_g = graph::bfs_distances(g, u);
+    const auto len_in_g = graph::geometric_shortest_paths(g, points, u);
+    const auto len_in_spanner =
+        graph::max_length_of_min_hop_paths(spanner, points, u);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == u || hops_in_g[v] == kUnreachable || hops_in_g[v] == 1) continue;
+      if (len_in_spanner[v] == graph::kInfiniteLength) {
+        stats.all_reachable = false;
+        continue;
+      }
+      const double l = len_in_g[v];
+      const double lp = len_in_spanner[v];
+      if (l <= 0.0) continue;
+      const double ratio = lp / l;
+      stats.max_ratio = std::max(stats.max_ratio, ratio);
+      ratio_sum += ratio;
+      stats.max_slack = std::max(stats.max_slack, lp - (6.0 * l + 5.0));
+      ++stats.pairs;
+    }
+  }
+  if (stats.pairs > 0) {
+    stats.mean_ratio = ratio_sum / static_cast<double>(stats.pairs);
+  }
+  return stats;
+}
+
+}  // namespace wcds::spanner

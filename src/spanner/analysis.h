@@ -1,0 +1,89 @@
+// Spanner quality analysis (paper, Sections 3 and 4).
+//
+// Sparseness: the weakly induced subgraph G' must have Theta(n) edges
+// (Theorems 8 and 10; the Theorem 10 accounting is |E'| <= 9*#gray + 47*|S|).
+//
+// Topological dilation (Theorem 11): for non-adjacent u, v,
+//   delta'(u, v) <= 3 * delta(u, v) + 2.
+// Geometric dilation (Lemma 6 + Theorem 11): l_G'(u, v) <= 6 * l_G(u, v) + 5,
+// where l_G is the Euclidean length of a minimum-distance path in G and l_G'
+// is the *maximum* total length over minimum-hop paths in G' (positions are
+// unknown to the routing layer, so the worst min-hop path is the honest
+// measure).
+//
+// Adjacent pairs are excluded: the paper routes them over the direct edge
+// (Section 4.2), and Theorem 11 is stated for non-adjacent pairs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "geom/point.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "wcds/wcds_result.h"
+
+namespace wcds::spanner {
+
+struct SparsenessStats {
+  std::size_t nodes = 0;
+  std::size_t udg_edges = 0;
+  std::size_t spanner_edges = 0;
+  double edges_per_node = 0.0;      // |E'| / n; bounded for a sparse spanner
+  std::size_t theorem10_bound = 0;  // 9 * #gray + 47 * |S| (0 if not Alg. II)
+};
+
+[[nodiscard]] SparsenessStats sparseness(const graph::Graph& g,
+                                         const graph::Graph& spanner,
+                                         const core::WcdsResult& wcds);
+
+struct TopologicalDilationStats {
+  double max_ratio = 0.0;   // max delta' / delta over measured pairs
+  double mean_ratio = 0.0;
+  std::int64_t max_slack =
+      std::numeric_limits<std::int64_t>::min();  // max delta' - (3*delta + 2)
+  std::uint64_t pairs = 0;
+  bool all_reachable = true;  // false if the spanner disconnects any pair
+};
+
+// Exact over all non-adjacent pairs when max_sources >= n; otherwise an
+// evenly strided sample of BFS sources (deterministic).
+[[nodiscard]] TopologicalDilationStats topological_dilation(
+    const graph::Graph& g, const graph::Graph& spanner,
+    std::size_t max_sources = std::numeric_limits<std::size_t>::max());
+
+// Distribution of per-pair topological stretch delta'/delta, for reporting
+// percentiles rather than just the maximum (T3's distribution view).
+struct StretchDistribution {
+  // buckets[i] counts pairs with ratio in [1 + i*width, 1 + (i+1)*width);
+  // the last bucket absorbs the tail.
+  std::vector<std::uint64_t> buckets;
+  double width = 0.25;
+  std::uint64_t pairs = 0;
+  double max_ratio = 0.0;
+
+  // Smallest ratio r such that at least q (0..1] of pairs have ratio <= r,
+  // resolved to bucket upper bounds; 0 if empty.
+  [[nodiscard]] double percentile(double q) const;
+};
+
+[[nodiscard]] StretchDistribution topological_stretch_distribution(
+    const graph::Graph& g, const graph::Graph& spanner,
+    std::size_t max_sources = std::numeric_limits<std::size_t>::max(),
+    double bucket_width = 0.25, std::size_t bucket_count = 40);
+
+struct GeometricDilationStats {
+  double max_ratio = 0.0;  // max l' / l over measured pairs
+  double mean_ratio = 0.0;
+  double max_slack = -std::numeric_limits<double>::infinity();  // l' - (6l+5)
+  std::uint64_t pairs = 0;
+  bool all_reachable = true;
+};
+
+[[nodiscard]] GeometricDilationStats geometric_dilation(
+    const graph::Graph& g, const graph::Graph& spanner,
+    std::span<const geom::Point> points,
+    std::size_t max_sources = std::numeric_limits<std::size_t>::max());
+
+}  // namespace wcds::spanner

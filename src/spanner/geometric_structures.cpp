@@ -1,0 +1,75 @@
+#include "spanner/geometric_structures.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace wcds::spanner {
+namespace {
+
+// Sorted intersection walk over the two adjacency rows, invoking `fn` on
+// every common neighbor of u and v.
+template <typename Fn>
+void for_each_common_neighbor(const graph::Graph& g, NodeId u, NodeId v,
+                              Fn&& fn) {
+  const auto a = g.neighbors(u);
+  const auto b = g.neighbors(v);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      fn(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+template <typename Keep>
+graph::Graph filter_edges(const graph::Graph& udg,
+                          std::span<const geom::Point> points, Keep&& keep) {
+  if (points.size() != udg.node_count()) {
+    throw std::invalid_argument("geometric structure: size mismatch");
+  }
+  graph::GraphBuilder builder(udg.node_count());
+  for (const auto& [u, v] : udg.edges()) {
+    if (keep(u, v)) builder.add_edge(u, v);
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace
+
+graph::Graph gabriel_graph(const graph::Graph& udg,
+                           std::span<const geom::Point> points) {
+  return filter_edges(udg, points, [&](NodeId u, NodeId v) {
+    const geom::Point mid{(points[u].x + points[v].x) / 2.0,
+                          (points[u].y + points[v].y) / 2.0};
+    const double r2 = geom::squared_distance(points[u], points[v]) / 4.0;
+    bool keep = true;
+    for_each_common_neighbor(udg, u, v, [&](NodeId w) {
+      if (geom::squared_distance(points[w], mid) < r2 - 1e-15) keep = false;
+    });
+    return keep;
+  });
+}
+
+graph::Graph relative_neighborhood_graph(const graph::Graph& udg,
+                                         std::span<const geom::Point> points) {
+  return filter_edges(udg, points, [&](NodeId u, NodeId v) {
+    const double uv2 = geom::squared_distance(points[u], points[v]);
+    bool keep = true;
+    for_each_common_neighbor(udg, u, v, [&](NodeId w) {
+      const double uw2 = geom::squared_distance(points[u], points[w]);
+      const double wv2 = geom::squared_distance(points[w], points[v]);
+      if (std::max(uw2, wv2) < uv2 - 1e-15) keep = false;
+    });
+    return keep;
+  });
+}
+
+}  // namespace wcds::spanner

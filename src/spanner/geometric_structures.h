@@ -1,0 +1,31 @@
+// Position-based sparse structures: Gabriel graph and relative neighborhood
+// graph (RNG).
+//
+// The paper's spanners are *position-less* — built from connectivity alone.
+// The classic alternatives it cites (RNG broadcasting [15], geographic
+// routing substrates [7][12]) require node coordinates.  These constructions
+// supply that comparison point for experiments: both are connected spanning
+// subgraphs of a connected UDG with O(n) edges, and RNG(G) ⊆ GG(G) ⊆ G.
+//
+// Definitions (restricted to UDG edges):
+//   Gabriel:  keep uv iff no witness w lies strictly inside the circle with
+//             diameter uv.
+//   RNG:      keep uv iff no witness w has max(|uw|, |wv|) < |uv| (the lune).
+// Any witness is within |uv| <= 1 of both endpoints, so only common UDG
+// neighbors need checking.
+#pragma once
+
+#include <span>
+
+#include "geom/point.h"
+#include "graph/graph.h"
+
+namespace wcds::spanner {
+
+[[nodiscard]] graph::Graph gabriel_graph(const graph::Graph& udg,
+                                         std::span<const geom::Point> points);
+
+[[nodiscard]] graph::Graph relative_neighborhood_graph(
+    const graph::Graph& udg, std::span<const geom::Point> points);
+
+}  // namespace wcds::spanner

@@ -1,0 +1,85 @@
+#include "udg/udg.h"
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bfs.h"
+
+namespace wcds::udg {
+namespace {
+
+using geom::Point;
+using graph::GraphBuilder;
+using NodeId = wcds::NodeId;
+
+// Cell key for the uniform grid; cells are range x range so only the 3x3
+// neighborhood of a cell can contain in-range partners.
+[[nodiscard]] std::uint64_t cell_key(std::int32_t cx, std::int32_t cy) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint32_t>(cy);
+}
+
+}  // namespace
+
+graph::Graph build_udg_reference(std::span<const Point> points, double range) {
+  if (range <= 0.0) throw std::invalid_argument("build_udg: range <= 0");
+  const std::size_t n = points.size();
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (geom::within_range(points[i], points[j], range)) {
+        builder.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+graph::Graph build_udg(std::span<const Point> points, double range) {
+  if (range <= 0.0) throw std::invalid_argument("build_udg: range <= 0");
+  const std::size_t n = points.size();
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> cells;
+  cells.reserve(n);
+  const double inv = 1.0 / range;
+  const auto cell_of = [&](const Point& p) {
+    return std::pair<std::int32_t, std::int32_t>{
+        static_cast<std::int32_t>(std::floor(p.x * inv)),
+        static_cast<std::int32_t>(std::floor(p.y * inv))};
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [cx, cy] = cell_of(points[i]);
+    cells[cell_key(cx, cy)].push_back(static_cast<NodeId>(i));
+  }
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [cx, cy] = cell_of(points[i]);
+    for (std::int32_t dx = -1; dx <= 1; ++dx) {
+      for (std::int32_t dy = -1; dy <= 1; ++dy) {
+        const auto it = cells.find(cell_key(cx + dx, cy + dy));
+        if (it == cells.end()) continue;
+        for (NodeId j : it->second) {
+          if (j <= static_cast<NodeId>(i)) continue;  // each pair once
+          if (geom::within_range(points[i], points[j], range)) {
+            builder.add_edge(static_cast<NodeId>(i), j);
+          }
+        }
+      }
+    }
+  }
+  return std::move(builder).build();
+}
+
+UdgStats analyze(const graph::Graph& g) {
+  UdgStats stats;
+  stats.nodes = g.node_count();
+  stats.edges = g.edge_count();
+  stats.max_degree = g.max_degree();
+  stats.average_degree = g.average_degree();
+  stats.components = graph::connected_components(g).count;
+  return stats;
+}
+
+}  // namespace wcds::udg

@@ -1,0 +1,36 @@
+// Unit-disk graph construction (paper, Section 1; Clark/Colbourn/Johnson).
+//
+// G = (V, E) where uv is an edge iff ||uv|| <= range (default 1).  Two
+// builders are provided:
+//  - build_udg_reference: O(n^2) pair scan, the obviously-correct oracle;
+//  - build_udg:           grid-bucket builder, expected O(n + m) for bounded
+//                         density, used everywhere at scale.
+// Tests assert both produce identical graphs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "geom/point.h"
+#include "graph/graph.h"
+
+namespace wcds::udg {
+
+[[nodiscard]] graph::Graph build_udg_reference(std::span<const geom::Point> points,
+                                               double range = 1.0);
+
+[[nodiscard]] graph::Graph build_udg(std::span<const geom::Point> points,
+                                     double range = 1.0);
+
+// Density diagnostics used by workload calibration and the F1 experiment.
+struct UdgStats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t max_degree = 0;
+  double average_degree = 0.0;
+  std::size_t components = 0;
+};
+
+[[nodiscard]] UdgStats analyze(const graph::Graph& g);
+
+}  // namespace wcds::udg

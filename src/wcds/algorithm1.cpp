@@ -1,0 +1,44 @@
+#include "wcds/algorithm1.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/bfs.h"
+#include "graph/spanning_tree.h"
+#include "mis/mis.h"
+#include "mis/ranking.h"
+
+namespace wcds::core {
+
+WcdsResult algorithm1(const graph::Graph& g, const Algorithm1Options& options) {
+  if (g.node_count() == 0) {
+    throw std::invalid_argument("algorithm1: empty graph");
+  }
+  if (!graph::is_connected(g)) {
+    throw std::invalid_argument("algorithm1: graph must be connected");
+  }
+  const NodeId root = options.root == kInvalidNode ? 0 : options.root;
+  if (root >= g.node_count()) {
+    throw std::out_of_range("algorithm1: root out of range");
+  }
+
+  // Level Calculation Phase: levels are distances in the spanning tree
+  // (BFS levels for the synchronous flood, tree depths for any other tree).
+  const auto tree = options.tree == Algorithm1Options::Tree::kBfs
+                        ? graph::bfs_tree(g, root)
+                        : graph::dfs_tree(g, root);
+
+  // Color Marking Phase == greedy MIS under the (level, ID) ranking.
+  const auto mis = mis::greedy_mis(g, mis::level_ranking(tree));
+
+  WcdsResult result;
+  result.mask = mis.mask;
+  result.dominators = mis.members;
+  std::sort(result.dominators.begin(), result.dominators.end());
+  result.mis_dominators = result.dominators;
+  result.color.assign(g.node_count(), NodeColor::kGray);
+  for (NodeId u : result.dominators) result.color[u] = NodeColor::kBlack;
+  return result;
+}
+
+}  // namespace wcds::core

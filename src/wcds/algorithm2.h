@@ -1,0 +1,58 @@
+// Algorithm II (paper, Section 4.2) — centralized reference.
+//
+// U = S + C where S is the greedy lowest-ID-first MIS ("MIS-dominators") and
+// C contains one intermediate node per pair of MIS-dominators exactly three
+// hops apart ("additional-dominators").  By Lemma 9 the result is a WCDS;
+// its weakly induced subgraph is a sparse spanner with topological dilation
+// delta'(u,v) <= 3*delta(u,v) + 2 and geometric dilation l' <= 6*l + 5
+// (Theorem 11).
+//
+// The per-node 1Hop/2Hop/3HopDomLists mirror the state of the distributed
+// protocol and feed the clusterhead routing layer (src/routing).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "mis/mis.h"
+#include "wcds/wcds_result.h"
+
+namespace wcds::core {
+
+// The paper's per-node dominator knowledge after the information-exchange
+// rounds.  one_hop/two_hop are kept for every node; three_hop only carries
+// entries at MIS-dominators (empty elsewhere).
+struct DominatorLists {
+  std::vector<std::vector<NodeId>> one_hop;
+  std::vector<std::vector<TwoHopEntry>> two_hop;
+  std::vector<std::vector<ThreeHopEntry>> three_hop;
+};
+
+// Populate one_hop (adjacent MIS-dominators) and two_hop (MIS-dominators at
+// exactly two hops, one entry per dominator with the smallest intermediate)
+// for every node, given the MIS S.
+[[nodiscard]] DominatorLists compute_dominator_lists(const graph::Graph& g,
+                                                     const mis::MisResult& s);
+
+struct Algorithm2Options {
+  // How to pick the additional-dominator among the candidate intermediates
+  // of a 3-hop MIS pair (ablation A2):
+  enum class Selection {
+    kLexSmallestPair,     // smallest (v, x); the deterministic default
+    kReuseIntermediates,  // prefer a v already chosen for another pair
+  };
+  Selection selection = Selection::kLexSmallestPair;
+};
+
+struct Algorithm2Output {
+  WcdsResult result;
+  mis::MisResult mis;    // the MIS-dominator set S
+  DominatorLists lists;  // including the populated 3HopDomLists
+};
+
+// Precondition: g is connected.  Throws std::invalid_argument otherwise.
+[[nodiscard]] Algorithm2Output algorithm2(const graph::Graph& g,
+                                          const Algorithm2Options& options = {});
+
+}  // namespace wcds::core

@@ -1,0 +1,72 @@
+#include "wcds/verify.h"
+
+#include <algorithm>
+
+#include "graph/bfs.h"
+#include "mis/mis.h"
+
+namespace wcds::core {
+
+bool is_dominating(const graph::Graph& g, const std::vector<bool>& mask) {
+  return mis::is_dominating_set(g, mask);
+}
+
+bool is_weakly_connected(const graph::Graph& g, const std::vector<bool>& mask) {
+  return graph::is_connected(graph::weakly_induced_subgraph(g, mask));
+}
+
+bool is_wcds(const graph::Graph& g, const std::vector<bool>& mask) {
+  return is_dominating(g, mask) && is_weakly_connected(g, mask);
+}
+
+bool is_cds(const graph::Graph& g, const std::vector<bool>& mask) {
+  if (!is_dominating(g, mask)) return false;
+  // G[S] connected: BFS within S from any member must reach every member.
+  NodeId start = kInvalidNode;
+  std::size_t member_count = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (mask[u]) {
+      if (start == kInvalidNode) start = u;
+      ++member_count;
+    }
+  }
+  if (member_count <= 1) return true;
+  const auto induced = graph::induced_subgraph(g, mask);
+  const auto dist = graph::bfs_distances(induced, start);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (mask[u] && dist[u] == kUnreachable) return false;
+  }
+  return true;
+}
+
+graph::Graph extract_spanner(const graph::Graph& g, const WcdsResult& result) {
+  return graph::weakly_induced_subgraph(g, result.mask);
+}
+
+bool audit_result(const graph::Graph& g, const WcdsResult& result) {
+  const std::size_t n = g.node_count();
+  if (result.mask.size() != n || result.color.size() != n) return false;
+  if (!std::is_sorted(result.dominators.begin(), result.dominators.end())) {
+    return false;
+  }
+  std::size_t black = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const bool in_set = result.mask[u];
+    if (in_set != (result.color[u] == NodeColor::kBlack)) return false;
+    if (in_set) ++black;
+    if (!in_set && result.color[u] == NodeColor::kWhite && n > 1) return false;
+  }
+  if (black != result.dominators.size()) return false;
+  for (NodeId u : result.dominators) {
+    if (u >= n || !result.mask[u]) return false;
+  }
+  // mis + additional partition the dominators.
+  std::vector<NodeId> merged = result.mis_dominators;
+  merged.insert(merged.end(), result.additional_dominators.begin(),
+                result.additional_dominators.end());
+  std::sort(merged.begin(), merged.end());
+  if (merged != result.dominators) return false;
+  return is_wcds(g, result.mask);
+}
+
+}  // namespace wcds::core

@@ -1,0 +1,51 @@
+// Shared result types for WCDS constructions (paper, Section 4).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace wcds::core {
+
+// Final node coloring: black nodes are dominators, gray nodes are dominated.
+// White only appears mid-construction (or for isolated analysis states).
+enum class NodeColor : std::uint8_t { kWhite, kGray, kBlack };
+
+// A dominator's entry for a dominator reachable in exactly two hops: `dom`
+// via the intermediate `via` (the paper's 2HopDomList entry).
+struct TwoHopEntry {
+  NodeId dom = kInvalidNode;
+  NodeId via = kInvalidNode;
+
+  friend constexpr auto operator<=>(const TwoHopEntry&, const TwoHopEntry&) =
+      default;
+};
+
+// An MIS-dominator's entry for an MIS-dominator exactly three hops away:
+// `dom` via intermediates `via1` (adjacent to self) then `via2` (adjacent to
+// dom) — the paper's 3HopDomList entry (w, v, x).
+struct ThreeHopEntry {
+  NodeId dom = kInvalidNode;
+  NodeId via1 = kInvalidNode;
+  NodeId via2 = kInvalidNode;
+
+  friend constexpr auto operator<=>(const ThreeHopEntry&,
+                                    const ThreeHopEntry&) = default;
+};
+
+struct WcdsResult {
+  std::vector<NodeId> dominators;  // the WCDS U, ascending
+  std::vector<bool> mask;          // node-indexed membership in U
+  std::vector<NodeColor> color;    // per-node final color
+
+  // Algorithm II split: U = mis_dominators (the MIS S) + additional
+  // dominators (the bridge set C).  Algorithm I leaves `additional` empty.
+  std::vector<NodeId> mis_dominators;
+  std::vector<NodeId> additional_dominators;
+
+  [[nodiscard]] std::size_t size() const { return dominators.size(); }
+  [[nodiscard]] bool contains(NodeId u) const { return mask[u]; }
+};
+
+}  // namespace wcds::core

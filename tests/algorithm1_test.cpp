@@ -1,0 +1,149 @@
+// Centralized Algorithm I: level-ranked MIS is a WCDS with ratio 5.
+#include <gtest/gtest.h>
+
+#include "baselines/exact.h"
+#include "graph/bfs.h"
+#include "mis/mis.h"
+#include "mis/properties.h"
+#include "test_util.h"
+#include "wcds/algorithm1.h"
+#include "wcds/verify.h"
+
+namespace wcds::core {
+namespace {
+
+TEST(Algorithm1, RejectsEmptyAndDisconnected) {
+  graph::GraphBuilder empty(0);
+  EXPECT_THROW(algorithm1(std::move(empty).build()), std::invalid_argument);
+  const auto g = graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(algorithm1(g), std::invalid_argument);
+}
+
+TEST(Algorithm1, RootOutOfRangeThrows) {
+  const auto g = graph::from_edges(2, {{0, 1}});
+  Algorithm1Options options;
+  options.root = 7;
+  EXPECT_THROW(algorithm1(g, options), std::out_of_range);
+}
+
+TEST(Algorithm1, SingleNode) {
+  graph::GraphBuilder b(1);
+  const auto r = algorithm1(std::move(b).build());
+  EXPECT_EQ(r.dominators, std::vector<NodeId>{0});
+}
+
+TEST(Algorithm1, PathGraphFromEnd) {
+  // Path 0-1-2-3-4 rooted at 0: levels = ids; level-ranked greedy MIS is
+  // {0, 2, 4}.
+  const auto g = graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto r = algorithm1(g);
+  EXPECT_EQ(r.dominators, (std::vector<NodeId>{0, 2, 4}));
+  EXPECT_TRUE(audit_result(g, r));
+}
+
+TEST(Algorithm1, RootSelectionChangesResult) {
+  const auto g = graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  Algorithm1Options options;
+  options.root = 2;
+  const auto r = algorithm1(g, options);
+  // Root 2 has rank (0,2): picked first; then 0 and 4 at level 2.
+  EXPECT_EQ(r.dominators, (std::vector<NodeId>{0, 2, 4}));
+  EXPECT_TRUE(audit_result(g, r));
+}
+
+TEST(Algorithm1, Figure2StyleGraph) {
+  const auto g = testing::figure2_graph();
+  const auto r = algorithm1(g);
+  EXPECT_TRUE(is_wcds(g, r.mask));
+}
+
+// Theorem 5: the result is always a WCDS; Theorem 4: its MIS has 2-hop
+// complementary-subset distance.
+class Algorithm1Sweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(Algorithm1Sweep, ProducesWcdsWithTwoHopSubsets) {
+  const auto [degree, seed] = GetParam();
+  const auto inst = testing::connected_udg(300, degree, seed);
+  const auto r = algorithm1(inst.g);
+  EXPECT_TRUE(audit_result(inst.g, r));
+  // The dominators form an MIS...
+  EXPECT_TRUE(mis::is_maximal_independent_set(inst.g, r.mask));
+  // ...whose complementary subsets are exactly two hops apart (Theorem 4).
+  mis::MisResult as_mis;
+  as_mis.members = r.dominators;
+  as_mis.mask = r.mask;
+  EXPECT_LE(mis::max_complementary_subset_distance(inst.g, as_mis), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreeSeed, Algorithm1Sweep,
+    ::testing::Combine(::testing::Values(6.0, 10.0, 18.0),
+                       ::testing::Values(1u, 2u, 3u)));
+
+// The paper's "arbitrary spanning tree": a DFS tree must give the same
+// guarantees — valid WCDS, MIS, and 2-hop complementary-subset separation
+// (Theorems 4/5 only use that levels are tree distances).
+class Algorithm1DfsSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(Algorithm1DfsSweep, DfsTreeAlsoYieldsTwoHopWcds) {
+  const auto [degree, seed] = GetParam();
+  const auto inst = testing::connected_udg(250, degree, seed);
+  Algorithm1Options options;
+  options.tree = Algorithm1Options::Tree::kDfs;
+  const auto r = algorithm1(inst.g, options);
+  EXPECT_TRUE(audit_result(inst.g, r));
+  EXPECT_TRUE(mis::is_maximal_independent_set(inst.g, r.mask));
+  mis::MisResult as_mis;
+  as_mis.members = r.dominators;
+  as_mis.mask = r.mask;
+  EXPECT_LE(mis::max_complementary_subset_distance(inst.g, as_mis), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreeSeed, Algorithm1DfsSweep,
+    ::testing::Combine(::testing::Values(7.0, 14.0),
+                       ::testing::Values(1u, 2u, 3u)));
+
+// Theorem 8's accounting: every black edge joins a gray node to one of its
+// <= 5 MIS neighbors, so |E'| <= 5 * #gray.
+TEST(Algorithm1, Theorem8EdgeAccountingBound) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto inst = testing::connected_udg(300, 15.0, seed);
+    const auto r = algorithm1(inst.g);
+    const auto spanner = extract_spanner(inst.g, r);
+    const std::size_t gray = inst.g.node_count() - r.size();
+    EXPECT_LE(spanner.edge_count(), 5 * gray) << seed;
+  }
+}
+
+// Lemma 7: |WCDS| <= 5 opt, checked against the exact optimum on small
+// instances.
+TEST(Algorithm1, WithinFiveTimesOptimum) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto inst = testing::connected_udg(18, 5.0, seed);
+    const auto r = algorithm1(inst.g);
+    const auto exact = baselines::exact_min_wcds(inst.g);
+    ASSERT_TRUE(exact.has_value());
+    ASSERT_TRUE(exact->proven_optimal);
+    EXPECT_LE(r.size(), 5 * exact->members.size())
+        << "seed " << seed << ": |alg1|=" << r.size()
+        << " opt=" << exact->members.size();
+  }
+}
+
+// Lemma 7's UDG lower bound is consistent: |MIS| <= 5 opt.
+TEST(Algorithm1, MisLowerBoundConsistent) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto inst = testing::connected_udg(16, 5.0, seed);
+    const auto r = algorithm1(inst.g);
+    const auto exact = baselines::exact_min_wcds(inst.g);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_GE(exact->members.size(),
+              baselines::udg_mwcds_lower_bound(r.size()));
+  }
+}
+
+}  // namespace
+}  // namespace wcds::core

@@ -1,0 +1,99 @@
+// Asynchronous-delivery stress tests.
+//
+// The paper's algorithms are event-driven; their correctness cannot depend
+// on the synchronous unit-delay analysis model.  Under seeded random delays
+// (FIFO per link):
+//  * Algorithm I's flood tree becomes an *arbitrary* spanning tree — the
+//    generality Section 2.2 claims — and must still produce a level-ranked
+//    MIS that is a WCDS with 2-hop complementary-subset separation.
+//  * Algorithm II must produce the same MIS (the marking rules have a
+//    timing-independent fixpoint) and a valid bridged WCDS.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "mis/mis.h"
+#include "mis/properties.h"
+#include "protocols/algorithm1_protocol.h"
+#include "protocols/algorithm2_protocol.h"
+#include "sim/runtime.h"
+#include "test_util.h"
+#include "wcds/verify.h"
+
+namespace wcds::protocols {
+namespace {
+
+TEST(AsyncRuntime, RejectsInvalidDelayModel) {
+  const auto g = graph::from_edges(2, {{0, 1}});
+  const auto factory = [](NodeId) -> std::unique_ptr<sim::ProtocolNode> {
+    return nullptr;  // never reached: delay validation happens first
+  };
+  EXPECT_THROW(sim::Runtime(g, factory, sim::DelayModel{0, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(sim::Runtime(g, factory, sim::DelayModel{3, 2, 1}),
+               std::invalid_argument);
+}
+
+TEST(AsyncRuntime, UnitModelIsDefaultShape) {
+  EXPECT_TRUE(sim::DelayModel::unit().is_unit());
+  EXPECT_FALSE(sim::DelayModel::uniform(1, 4, 9).is_unit());
+}
+
+class AsyncSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AsyncSweep, Algorithm1ValidUnderRandomDelays) {
+  const auto inst = testing::connected_udg(200, 9.0, GetParam());
+  const auto run = run_algorithm1(
+      inst.g, sim::DelayModel::uniform(1, 5, GetParam() * 1000 + 1));
+  EXPECT_TRUE(core::audit_result(inst.g, run.wcds));
+  EXPECT_TRUE(mis::is_maximal_independent_set(inst.g, run.wcds.mask));
+  // Theorem 4 through an arbitrary tree: subsets still exactly two hops.
+  mis::MisResult as_mis;
+  as_mis.members = run.wcds.dominators;
+  as_mis.mask = run.wcds.mask;
+  EXPECT_LE(mis::max_complementary_subset_distance(inst.g, as_mis), 2u);
+  // Levels are tree distances: every non-leader node has a level one above
+  // some neighbor (its tree parent); leader has level 0.
+  EXPECT_EQ(run.levels[run.leader], 0u);
+  const auto bfs = graph::bfs_distances(inst.g, run.leader);
+  for (NodeId u = 0; u < inst.g.node_count(); ++u) {
+    EXPECT_GE(run.levels[u], bfs[u]);  // tree distance >= hop distance
+  }
+}
+
+TEST_P(AsyncSweep, Algorithm2MisIsTimingIndependent) {
+  const auto inst = testing::connected_udg(200, 9.0, GetParam());
+  const auto sync_run = run_algorithm2(inst.g);
+  const auto async_run = run_algorithm2(
+      inst.g, sim::DelayModel::uniform(1, 7, GetParam() * 77 + 3));
+  EXPECT_TRUE(core::audit_result(inst.g, async_run.wcds));
+  EXPECT_EQ(async_run.wcds.mis_dominators, sync_run.wcds.mis_dominators);
+  // Bridges may differ under racing 2-HOP lists but never shrink below what
+  // domination requires; the audit above already proves weak connectivity.
+}
+
+TEST_P(AsyncSweep, AsyncRunsAreSeedDeterministic) {
+  const auto inst = testing::connected_udg(120, 9.0, GetParam());
+  const auto a =
+      run_algorithm2(inst.g, sim::DelayModel::uniform(1, 6, 42));
+  const auto b =
+      run_algorithm2(inst.g, sim::DelayModel::uniform(1, 6, 42));
+  EXPECT_EQ(a.wcds.dominators, b.wcds.dominators);
+  EXPECT_EQ(a.stats.transmissions, b.stats.transmissions);
+  const auto c =
+      run_algorithm2(inst.g, sim::DelayModel::uniform(1, 6, 43));
+  EXPECT_TRUE(core::audit_result(inst.g, c.wcds));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsyncSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Async, WiderJitterStillQuiescent) {
+  const auto inst = testing::connected_udg(150, 10.0, 2);
+  const auto run =
+      run_algorithm1(inst.g, sim::DelayModel::uniform(1, 20, 5));
+  EXPECT_TRUE(run.stats.quiescent);
+  EXPECT_TRUE(core::is_wcds(inst.g, run.wcds.mask));
+}
+
+}  // namespace
+}  // namespace wcds::protocols

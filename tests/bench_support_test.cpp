@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench_support/stats.h"
+#include "bench_support/table.h"
+
+namespace wcds::bench {
+namespace {
+
+TEST(Table, RejectsEmptyHeadersAndBadRows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"n", "value"});
+  t.add_row({"10", "1.5"});
+  t.add_row({"1000", "2.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Formatting, Helpers) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_ratio(0.5), "0.500");
+  EXPECT_EQ(fmt_count(42), "42");
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  banner(os, "T1: approximation ratios");
+  EXPECT_NE(os.str().find("T1: approximation ratios"), std::string::npos);
+}
+
+TEST(Stats, EmptyIsZero) {
+  const auto s = summarize({});
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, KnownValues) {
+  const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto s = summarize(values);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Stats, SingleValue) {
+  const double v[] = {3.5};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+}  // namespace
+}  // namespace wcds::bench

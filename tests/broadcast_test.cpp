@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "broadcast/backbone_broadcast.h"
+#include "test_util.h"
+#include "wcds/algorithm1.h"
+#include "wcds/algorithm2.h"
+
+namespace wcds::broadcast {
+namespace {
+
+TEST(RelaySet, MaskSizeMismatchThrows) {
+  const auto g = graph::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_THROW(relay_set(g, std::vector<bool>(2, true)),
+               std::invalid_argument);
+}
+
+TEST(RelaySet, PathGraphAddsGateways) {
+  // Backbone {0, 2, 4} on a path: pairs (0,2) and (2,4) at two hops add
+  // gateways 1 and 3.
+  const auto g = graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  std::vector<bool> backbone{true, false, true, false, true};
+  const auto relay = relay_set(g, backbone);
+  EXPECT_TRUE(relay[0]);
+  EXPECT_TRUE(relay[1]);
+  EXPECT_TRUE(relay[2]);
+  EXPECT_TRUE(relay[3]);
+  EXPECT_TRUE(relay[4]);
+}
+
+TEST(RelaySet, AdjacentBackbonePairNeedsNoGateway) {
+  const auto g = graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<bool> backbone{false, true, true, false};
+  const auto relay = relay_set(g, backbone);
+  EXPECT_FALSE(relay[0]);
+  EXPECT_FALSE(relay[3]);
+}
+
+TEST(Flood, SourceValidation) {
+  const auto g = graph::from_edges(2, {{0, 1}});
+  EXPECT_THROW((void)flood(g, 5, std::vector<bool>(2, true)), std::out_of_range);
+  EXPECT_THROW((void)flood(g, 0, std::vector<bool>(1, true)),
+               std::invalid_argument);
+}
+
+TEST(Flood, BlindFloodReachesAllWithNTransmissions) {
+  const auto inst = testing::connected_udg(200, 10.0, 1);
+  const auto r = blind_flood(inst.g, 0);
+  EXPECT_EQ(r.reached, inst.g.node_count());
+  EXPECT_EQ(r.transmissions, inst.g.node_count());
+}
+
+TEST(Flood, SingleNodeNetwork) {
+  graph::GraphBuilder b(1);
+  const auto g = std::move(b).build();
+  const auto r = blind_flood(g, 0);
+  EXPECT_EQ(r.reached, 1u);
+  EXPECT_EQ(r.transmissions, 0u);  // nobody to transmit to
+}
+
+class BroadcastSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(BroadcastSweep, BackboneFloodReachesEveryoneWithFewerTransmissions) {
+  const auto [degree, seed] = GetParam();
+  const auto inst = testing::connected_udg(300, degree, seed);
+  const auto backbone = core::algorithm2(inst.g);
+  const auto relay = relay_set(inst.g, backbone.result.mask);
+  // The source always transmits even if not a relay.
+  const auto blind = blind_flood(inst.g, 7);
+  auto relay_with_source = relay;
+  relay_with_source[7] = true;
+  const auto bb = flood(inst.g, 7, relay_with_source);
+  EXPECT_EQ(blind.reached, inst.g.node_count());
+  EXPECT_EQ(bb.reached, inst.g.node_count())
+      << "backbone flood failed to cover the network";
+  EXPECT_LE(bb.transmissions, blind.transmissions);
+}
+
+TEST_P(BroadcastSweep, Algorithm1BackboneAlsoCovers) {
+  const auto [degree, seed] = GetParam();
+  const auto inst = testing::connected_udg(250, degree, seed);
+  const auto r1 = core::algorithm1(inst.g);
+  auto relay = relay_set(inst.g, r1.mask);
+  relay[0] = true;
+  const auto bb = flood(inst.g, 0, relay);
+  EXPECT_EQ(bb.reached, inst.g.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreeSeed, BroadcastSweep,
+    ::testing::Combine(::testing::Values(8.0, 16.0, 28.0),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(Flood, WorksUnderAsyncDelays) {
+  const auto inst = testing::connected_udg(200, 12.0, 4);
+  const auto backbone = core::algorithm2(inst.g);
+  auto relay = relay_set(inst.g, backbone.result.mask);
+  relay[0] = true;
+  const auto r = flood(inst.g, 0, relay, sim::DelayModel::uniform(1, 6, 9));
+  EXPECT_EQ(r.reached, inst.g.node_count());
+}
+
+}  // namespace
+}  // namespace wcds::broadcast

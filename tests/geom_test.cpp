@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "geom/point.h"
+#include "geom/rng.h"
+#include "geom/workload.h"
+
+namespace wcds::geom {
+namespace {
+
+TEST(Point, DistanceBasics) {
+  const Point a{0.0, 0.0};
+  const Point b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(distance(a, a), 0.0);
+}
+
+TEST(Point, WithinRangeIsInclusive) {
+  const Point a{0.0, 0.0};
+  EXPECT_TRUE(within_range(a, {1.0, 0.0}, 1.0));
+  EXPECT_FALSE(within_range(a, {1.0 + 1e-9, 0.0}, 1.0));
+  EXPECT_TRUE(within_range(a, {0.6, 0.79}, 1.0));
+}
+
+TEST(BoundingBox, ExpandAndContain) {
+  BoundingBox box{{1.0, 1.0}, {1.0, 1.0}};
+  box.expand({3.0, -2.0});
+  box.expand({-1.0, 4.0});
+  EXPECT_DOUBLE_EQ(box.min.x, -1.0);
+  EXPECT_DOUBLE_EQ(box.min.y, -2.0);
+  EXPECT_DOUBLE_EQ(box.max.x, 3.0);
+  EXPECT_DOUBLE_EQ(box.max.y, 4.0);
+  EXPECT_TRUE(box.contains({0.0, 0.0}));
+  EXPECT_FALSE(box.contains({5.0, 0.0}));
+  EXPECT_DOUBLE_EQ(box.width(), 4.0);
+  EXPECT_DOUBLE_EQ(box.height(), 6.0);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Xoshiro256ss a(42);
+  Xoshiro256ss b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256ss a(1);
+  Xoshiro256ss b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Xoshiro256ss rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit over 1000 draws
+}
+
+TEST(Rng, NextBelowZeroAndOne) {
+  Xoshiro256ss rng(11);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Workload, UniformCountAndBounds) {
+  const auto pts = uniform_square(500, 10.0, 3);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 10.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 10.0);
+  }
+}
+
+TEST(Workload, UniformDeterministic) {
+  const auto a = uniform_square(100, 5.0, 17);
+  const auto b = uniform_square(100, 5.0, 17);
+  EXPECT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Workload, ClusteredStaysInBox) {
+  const auto pts = clustered(400, 8.0, 5, 0.5, 21);
+  ASSERT_EQ(pts.size(), 400u);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 8.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 8.0);
+  }
+}
+
+TEST(Workload, ClusteredIsMoreConcentratedThanUniform) {
+  // Crude clustering witness: mean nearest-neighbor distance drops.
+  const auto nn_mean = [](const std::vector<Point>& pts) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      double best = 1e18;
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        if (i != j) best = std::min(best, squared_distance(pts[i], pts[j]));
+      }
+      sum += std::sqrt(best);
+    }
+    return sum / static_cast<double>(pts.size());
+  };
+  const auto u = uniform_square(300, 10.0, 5);
+  const auto c = clustered(300, 10.0, 4, 0.4, 5);
+  EXPECT_LT(nn_mean(c), nn_mean(u));
+}
+
+TEST(Workload, PerturbedGridCoversBox) {
+  const auto pts = perturbed_grid(256, 16.0, 0.3, 2);
+  ASSERT_EQ(pts.size(), 256u);
+  BoundingBox box{{1e18, 1e18}, {-1e18, -1e18}};
+  for (const auto& p : pts) box.expand(p);
+  EXPECT_GT(box.width(), 12.0);   // grid spans most of the square
+  EXPECT_GT(box.height(), 12.0);
+}
+
+TEST(Workload, CorridorAspect) {
+  const auto pts = corridor(200, 20.0, 0.1, 4);
+  for (const auto& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 20.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 2.0 + 1e-12);
+  }
+}
+
+TEST(Workload, RingRespectsAnnulus) {
+  const double outer = 5.0;
+  const auto pts = ring(300, outer, 0.6, 8);
+  const Point center{outer, outer};
+  for (const auto& p : pts) {
+    const double r = distance(p, center);
+    EXPECT_GE(r, 0.6 * outer - 1e-9);
+    EXPECT_LE(r, outer + 1e-9);
+  }
+}
+
+TEST(Workload, GenerateDispatch) {
+  WorkloadParams params;
+  params.kind = WorkloadKind::kCorridor;
+  params.count = 50;
+  params.side = 12.0;
+  params.aspect = 0.25;
+  params.seed = 6;
+  const auto pts = generate(params);
+  EXPECT_EQ(pts.size(), 50u);
+  for (const auto& p : pts) EXPECT_LE(p.y, 3.0 + 1e-12);
+}
+
+TEST(Workload, SideForExpectedDegreeRoundTrips) {
+  const double side = side_for_expected_degree(1000, 12.0);
+  EXPECT_NEAR(expected_degree(1000, side), 12.0, 1e-9);
+}
+
+TEST(Workload, ExpectedDegreeMatchesEmpirically) {
+  const std::uint32_t n = 2000;
+  const double target = 15.0;
+  const double side = side_for_expected_degree(n, target);
+  const auto pts = uniform_square(n, side, 33);
+  // Count edges directly.
+  std::size_t edges = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (within_range(pts[i], pts[j], 1.0)) ++edges;
+    }
+  }
+  const double avg_deg = 2.0 * static_cast<double>(edges) / n;
+  // Boundary effects push the empirical mean below the toroidal estimate.
+  EXPECT_GT(avg_deg, 0.7 * target);
+  EXPECT_LT(avg_deg, 1.1 * target);
+}
+
+TEST(Workload, ToStringNames) {
+  EXPECT_EQ(to_string(WorkloadKind::kUniform), "uniform");
+  EXPECT_EQ(to_string(WorkloadKind::kRing), "ring");
+}
+
+}  // namespace
+}  // namespace wcds::geom

@@ -1,0 +1,148 @@
+// Gabriel graph / RNG construction and the greedy geographic routing
+// baseline.
+#include <gtest/gtest.h>
+
+#include "routing/geographic.h"
+#include "spanner/geometric_structures.h"
+#include "test_util.h"
+#include "udg/udg.h"
+
+namespace wcds::spanner {
+namespace {
+
+TEST(GeometricStructures, SizeMismatchThrows) {
+  const auto g = graph::from_edges(3, {{0, 1}, {1, 2}});
+  std::vector<geom::Point> two{{0, 0}, {1, 0}};
+  EXPECT_THROW(gabriel_graph(g, two), std::invalid_argument);
+  EXPECT_THROW(relative_neighborhood_graph(g, two), std::invalid_argument);
+}
+
+TEST(GeometricStructures, TriangleDropsLongestEdgeInRng) {
+  // Isoceles-ish triangle: the long edge has a lune witness.
+  const std::vector<geom::Point> pts{{0.0, 0.0}, {0.9, 0.0}, {0.45, 0.5}};
+  const auto udg = udg::build_udg(pts);
+  ASSERT_EQ(udg.edge_count(), 3u);
+  const auto rng = relative_neighborhood_graph(udg, pts);
+  // |01| = 0.9 is the longest; node 2 is closer than 0.9 to both -> dropped.
+  EXPECT_FALSE(rng.has_edge(0, 1));
+  EXPECT_TRUE(rng.has_edge(0, 2));
+  EXPECT_TRUE(rng.has_edge(1, 2));
+}
+
+TEST(GeometricStructures, GabrielKeepsRightAngleWitnessEdge) {
+  // A witness exactly on the diameter circle does not remove the edge
+  // (strict inequality), one inside does.
+  const std::vector<geom::Point> on_circle{
+      {0.0, 0.0}, {1.0, 0.0}, {0.5, 0.5}};  // |mid-w| = 0.5 = r
+  const auto udg1 = udg::build_udg(on_circle);
+  EXPECT_TRUE(gabriel_graph(udg1, on_circle).has_edge(0, 1));
+
+  const std::vector<geom::Point> inside{
+      {0.0, 0.0}, {1.0, 0.0}, {0.5, 0.3}};  // strictly inside
+  const auto udg2 = udg::build_udg(inside);
+  EXPECT_FALSE(gabriel_graph(udg2, inside).has_edge(0, 1));
+}
+
+class StructureSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StructureSweep, NestingAndConnectivity) {
+  const auto inst = testing::connected_udg(300, 12.0, GetParam());
+  const auto gg = gabriel_graph(inst.g, inst.points);
+  const auto rng = relative_neighborhood_graph(inst.g, inst.points);
+  // RNG ⊆ GG ⊆ UDG.
+  EXPECT_LE(rng.edge_count(), gg.edge_count());
+  EXPECT_LE(gg.edge_count(), inst.g.edge_count());
+  for (const auto& [u, v] : rng.edges()) {
+    EXPECT_TRUE(gg.has_edge(u, v));
+  }
+  for (const auto& [u, v] : gg.edges()) {
+    EXPECT_TRUE(inst.g.has_edge(u, v));
+  }
+  // Both stay connected (they contain the Euclidean MST of each component).
+  EXPECT_TRUE(graph::is_connected(gg));
+  EXPECT_TRUE(graph::is_connected(rng));
+}
+
+TEST_P(StructureSweep, BothAreSparse) {
+  const auto inst = testing::connected_udg(400, 25.0, GetParam());
+  const auto gg = gabriel_graph(inst.g, inst.points);
+  const auto rng = relative_neighborhood_graph(inst.g, inst.points);
+  // Planar-graph edge bounds: GG <= 3n - 8ish, RNG even sparser; use the
+  // generous planarity bound 3n.
+  EXPECT_LE(gg.edge_count(), 3 * inst.g.node_count());
+  EXPECT_LE(rng.edge_count(), 3 * inst.g.node_count());
+  // And both are much sparser than the dense UDG.
+  EXPECT_LT(gg.edge_count(), inst.g.edge_count() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructureSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace wcds::spanner
+
+namespace wcds::routing {
+namespace {
+
+TEST(GeographicRouting, Validation) {
+  const auto g = graph::from_edges(2, {{0, 1}});
+  std::vector<geom::Point> pts{{0, 0}, {1, 0}};
+  EXPECT_THROW(greedy_geographic_route(g, pts, 0, 5), std::out_of_range);
+  std::vector<geom::Point> one{{0, 0}};
+  EXPECT_THROW(greedy_geographic_route(g, one, 0, 1), std::invalid_argument);
+}
+
+TEST(GeographicRouting, StraightLineDelivers) {
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 10; ++i) pts.push_back({0.8 * i, 0.0});
+  const auto g = udg::build_udg(pts);
+  const auto route = greedy_geographic_route(g, pts, 0, 9);
+  EXPECT_TRUE(route.delivered);
+  EXPECT_EQ(route.hops(), 9u);  // each greedy step advances one node
+}
+
+TEST(GeographicRouting, SelfRoute) {
+  std::vector<geom::Point> pts{{0, 0}, {0.5, 0}};
+  const auto g = udg::build_udg(pts);
+  const auto route = greedy_geographic_route(g, pts, 1, 1);
+  EXPECT_TRUE(route.delivered);
+  EXPECT_EQ(route.hops(), 0u);
+}
+
+TEST(GeographicRouting, VoidGetsStuck) {
+  // A "C" shaped obstacle: src on the left must route around, but its only
+  // progress neighbor dead-ends closer to dst than any of its neighbors.
+  //        2 (0.9, 0.8)
+  //  0 --- 1 (0.9, 0)          dst 3 (2.6, 0)  [unreachable greedily:
+  //                             1 is a local minimum; 2 is farther]
+  std::vector<geom::Point> pts{
+      {0.0, 0.0}, {0.9, 0.0}, {0.9, 0.8}, {2.6, 0.0}, {1.7, 0.9}, {2.5, 0.95}};
+  // Connectivity: 0-1, 1-2, 2-4, 4-5, 5-3: the detour over the top works,
+  // but greedy at 1 has no neighbor closer to 3 than itself.
+  const auto g = udg::build_udg(pts);
+  ASSERT_TRUE(graph::is_connected(g));
+  const auto route = greedy_geographic_route(g, pts, 0, 3);
+  EXPECT_FALSE(route.delivered);
+  EXPECT_TRUE(route.stuck);
+}
+
+TEST(GeographicRouting, NoLoopsEverTerminates) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto inst = testing::connected_udg(250, 9.0, seed);
+    for (NodeId dst = 1; dst < inst.g.node_count(); dst += 31) {
+      const auto route =
+          greedy_geographic_route(inst.g, inst.points, 0, dst);
+      EXPECT_TRUE(route.delivered || route.stuck);
+      EXPECT_LE(route.hops(), inst.g.node_count());
+      if (route.delivered) {
+        EXPECT_EQ(route.path.back(), dst);
+        for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+          EXPECT_TRUE(inst.g.has_edge(route.path[i], route.path[i + 1]));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wcds::routing

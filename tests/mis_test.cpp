@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/spanning_tree.h"
+#include "mis/mis.h"
+#include "mis/ranking.h"
+#include "test_util.h"
+
+namespace wcds::mis {
+namespace {
+
+using graph::from_edges;
+using graph::Graph;
+
+TEST(Ranking, IdRanking) {
+  const auto ranks = id_ranking(4);
+  ASSERT_EQ(ranks.size(), 4u);
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_EQ(ranks[u].primary, 0u);
+    EXPECT_EQ(ranks[u].id, u);
+  }
+  EXPECT_LT(ranks[0], ranks[1]);
+}
+
+TEST(Ranking, LevelRankingLexicographic) {
+  // Path 0-1-2 rooted at 1: levels 1,0,1.
+  const Graph g = from_edges(3, {{0, 1}, {1, 2}});
+  const auto tree = graph::bfs_tree(g, 1);
+  const auto ranks = level_ranking(tree);
+  EXPECT_LT(ranks[1], ranks[0]);  // root first
+  EXPECT_LT(ranks[0], ranks[2]);  // same level, lower id first
+}
+
+TEST(Ranking, DegreeRankingOrdersHighDegreeFirst) {
+  // Star: center 2 has degree 3, leaves degree 1.
+  const Graph g = from_edges(4, {{2, 0}, {2, 1}, {2, 3}});
+  const auto ranks = degree_ranking(g);
+  EXPECT_LT(ranks[2], ranks[0]);
+  EXPECT_LT(ranks[0], ranks[1]);  // equal degree: lower id first
+}
+
+TEST(Ranking, OrderByRank) {
+  std::vector<Rank> ranks{{2, 0}, {0, 1}, {1, 2}};
+  const auto order = order_by_rank(ranks);
+  EXPECT_EQ(order, (std::vector<NodeId>{1, 2, 0}));
+}
+
+TEST(GreedyMis, PathByIdRanking) {
+  // 0-1-2-3-4: greedy lowest-id picks 0, 2, 4.
+  const Graph g = from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto mis = greedy_mis_by_id(g);
+  EXPECT_EQ(mis.members, (std::vector<NodeId>{0, 2, 4}));
+  EXPECT_TRUE(is_maximal_independent_set(g, mis.mask));
+}
+
+TEST(GreedyMis, SingleNode) {
+  graph::GraphBuilder b(1);
+  const Graph g = std::move(b).build();
+  const auto mis = greedy_mis_by_id(g);
+  EXPECT_EQ(mis.size(), 1u);
+  EXPECT_TRUE(mis.contains(0));
+}
+
+TEST(GreedyMis, CompleteGraphPicksOne) {
+  graph::GraphBuilder b(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = u + 1; v < 6; ++v) b.add_edge(u, v);
+  }
+  const auto mis = greedy_mis_by_id(std::move(b).build());
+  EXPECT_EQ(mis.members, std::vector<NodeId>{0});
+}
+
+TEST(GreedyMis, RespectsRankOrderNotIdOrder) {
+  // Path 0-1-2; ranking that makes node 1 lowest picks {1} only.
+  const Graph g = from_edges(3, {{0, 1}, {1, 2}});
+  std::vector<Rank> ranks{{1, 0}, {0, 1}, {1, 2}};
+  const auto mis = greedy_mis(g, ranks);
+  EXPECT_EQ(mis.members, std::vector<NodeId>{1});
+  EXPECT_TRUE(is_maximal_independent_set(g, mis.mask));
+}
+
+TEST(GreedyMis, RankSizeMismatchThrows) {
+  const Graph g = from_edges(2, {{0, 1}});
+  EXPECT_THROW(greedy_mis(g, id_ranking(3)), std::invalid_argument);
+}
+
+TEST(GreedyMisMaxDegree, StarPicksCenter) {
+  const Graph g = from_edges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  const auto mis = greedy_mis_max_degree(g);
+  EXPECT_EQ(mis.members, std::vector<NodeId>{0});
+}
+
+TEST(GreedyMisMaxDegree, ProducesValidMis) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto inst = testing::connected_udg(250, 10.0, seed);
+    const auto mis = greedy_mis_max_degree(inst.g);
+    EXPECT_TRUE(is_maximal_independent_set(inst.g, mis.mask)) << seed;
+  }
+}
+
+TEST(Verify, IndependenceDetectsAdjacentPair) {
+  const Graph g = from_edges(3, {{0, 1}, {1, 2}});
+  std::vector<bool> bad{true, true, false};
+  EXPECT_FALSE(is_independent_set(g, bad));
+  std::vector<bool> good{true, false, true};
+  EXPECT_TRUE(is_independent_set(g, good));
+}
+
+TEST(Verify, DominationDetectsGap) {
+  const Graph g = from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  std::vector<bool> only0{true, false, false, false};
+  EXPECT_FALSE(is_dominating_set(g, only0));  // 2, 3 uncovered
+  std::vector<bool> mid{false, true, false, true};
+  EXPECT_TRUE(is_dominating_set(g, mid));
+}
+
+TEST(Verify, EmptySetOnNonemptyGraphNotDominating) {
+  const Graph g = from_edges(2, {{0, 1}});
+  std::vector<bool> none{false, false};
+  EXPECT_FALSE(is_dominating_set(g, none));
+  EXPECT_TRUE(is_independent_set(g, none));
+}
+
+// Every ranking yields a valid MIS on random UDGs (paper, Table 1 invariant).
+class MisRankingSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(MisRankingSweep, GreedyAlwaysMaximalIndependent) {
+  const auto [ranking_kind, seed] = GetParam();
+  const auto inst = testing::connected_udg(300, 12.0, seed);
+  std::vector<Rank> ranks;
+  switch (ranking_kind) {
+    case 0:
+      ranks = id_ranking(inst.g.node_count());
+      break;
+    case 1:
+      ranks = level_ranking(graph::bfs_tree(inst.g, 0));
+      break;
+    default:
+      ranks = degree_ranking(inst.g);
+      break;
+  }
+  const auto mis = greedy_mis(inst.g, ranks);
+  EXPECT_TRUE(is_maximal_independent_set(inst.g, mis.mask));
+  EXPECT_GT(mis.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankingsBySeed, MisRankingSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1u, 2u, 3u, 4u)));
+
+// The greedy MIS under ID ranking picks the lexicographically smallest MIS.
+TEST(GreedyMis, LexicographicallyFirst) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto inst = testing::connected_udg(120, 9.0, seed);
+    const auto mis = greedy_mis_by_id(inst.g);
+    // Every node smaller than the first member must be excluded because of
+    // adjacency to a member... equivalently: for each node u not in the MIS,
+    // some member smaller than u is adjacent to u OR u is adjacent to a
+    // member (maximality); lexicographic minimality means: u's exclusion is
+    // forced by a *smaller* member.
+    for (NodeId u = 0; u < inst.g.node_count(); ++u) {
+      if (mis.mask[u]) continue;
+      bool forced = false;
+      for (NodeId v : inst.g.neighbors(u)) {
+        if (v < u && mis.mask[v]) forced = true;
+      }
+      EXPECT_TRUE(forced) << "node " << u << " excluded by larger member only";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wcds::mis

@@ -1,0 +1,121 @@
+// Distributed Algorithm I: leader election, levels, and the marking phase
+// must reproduce the centralized level-ranked MIS.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "mis/mis.h"
+#include "protocols/algorithm1_protocol.h"
+#include "test_util.h"
+#include "wcds/algorithm1.h"
+#include "wcds/verify.h"
+
+namespace wcds::protocols {
+namespace {
+
+TEST(Protocol1, RejectsBadInput) {
+  graph::GraphBuilder empty(0);
+  EXPECT_THROW(run_algorithm1(std::move(empty).build()),
+               std::invalid_argument);
+  const auto disconnected = graph::from_edges(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(run_algorithm1(disconnected), std::invalid_argument);
+}
+
+TEST(Protocol1, SingleNode) {
+  graph::GraphBuilder b(1);
+  const auto run = run_algorithm1(std::move(b).build());
+  EXPECT_EQ(run.leader, 0u);
+  EXPECT_EQ(run.wcds.dominators, std::vector<NodeId>{0});
+  EXPECT_EQ(run.levels[0], 0u);
+}
+
+TEST(Protocol1, LeaderIsMinimumId) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto inst = testing::connected_udg(150, 9.0, seed);
+    const auto run = run_algorithm1(inst.g);
+    EXPECT_EQ(run.leader, 0u);  // ids are dense, 0 is the global minimum
+  }
+}
+
+TEST(Protocol1, LevelsAreBfsDistancesFromLeader) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto inst = testing::connected_udg(200, 8.0, seed);
+    const auto run = run_algorithm1(inst.g);
+    const auto dist = graph::bfs_distances(inst.g, run.leader);
+    for (NodeId u = 0; u < inst.g.node_count(); ++u) {
+      EXPECT_EQ(run.levels[u], dist[u]) << "node " << u;
+    }
+  }
+}
+
+TEST(Protocol1, PathGraph) {
+  const auto g = graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto run = run_algorithm1(g);
+  EXPECT_EQ(run.leader, 0u);
+  EXPECT_EQ(run.wcds.dominators, (std::vector<NodeId>{0, 2, 4}));
+  EXPECT_TRUE(core::audit_result(g, run.wcds));
+}
+
+TEST(Protocol1, MessageNamesCover) {
+  EXPECT_STREQ(algorithm1_message_name(kMsgCandidate), "CANDIDATE");
+  EXPECT_STREQ(algorithm1_message_name(kMsgBlack), "BLACK");
+  EXPECT_STREQ(algorithm1_message_name(999), "?");
+}
+
+class Protocol1Sweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(Protocol1Sweep, MatchesCentralizedAlgorithm1) {
+  const auto [degree, seed] = GetParam();
+  const auto inst = testing::connected_udg(220, degree, seed);
+  const auto run = run_algorithm1(inst.g);
+  EXPECT_TRUE(core::audit_result(inst.g, run.wcds));
+  // The centralized reference rooted at the elected leader produces the same
+  // dominator set: both are the greedy MIS under the (BFS level, id) rank.
+  core::Algorithm1Options options;
+  options.root = run.leader;
+  const auto reference = core::algorithm1(inst.g, options);
+  EXPECT_EQ(run.wcds.dominators, reference.dominators);
+}
+
+TEST_P(Protocol1Sweep, DominatorsFormMisWcds) {
+  const auto [degree, seed] = GetParam();
+  const auto inst = testing::connected_udg(180, degree, seed);
+  const auto run = run_algorithm1(inst.g);
+  EXPECT_TRUE(mis::is_maximal_independent_set(inst.g, run.wcds.mask));
+  EXPECT_TRUE(core::is_wcds(inst.g, run.wcds.mask));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreeSeed, Protocol1Sweep,
+    ::testing::Combine(::testing::Values(6.0, 10.0, 16.0),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(Protocol1, MessageComplexityNearLinearithmic) {
+  // Theorem 12 context: leader election dominates with O(n log n) expected
+  // messages; marking/levels are linear.  Check a generous c * n * log2(n)
+  // envelope and that growth is clearly superlinear-tolerant but far from
+  // quadratic.
+  for (const std::uint32_t n : {100u, 400u}) {
+    const auto inst = testing::connected_udg(n, 8.0, 7);
+    const auto run = run_algorithm1(inst.g);
+    const double bound = 40.0 * n * std::log2(static_cast<double>(n));
+    EXPECT_LE(static_cast<double>(run.stats.transmissions), bound);
+  }
+}
+
+TEST(Protocol1, PhaseMessageTypesAllPresent) {
+  const auto inst = testing::connected_udg(120, 8.0, 11);
+  const auto run = run_algorithm1(inst.g);
+  EXPECT_GT(run.stats.per_type.at(kMsgCandidate), 0u);
+  EXPECT_GT(run.stats.per_type.at(kMsgResp), 0u);
+  EXPECT_GT(run.stats.per_type.at(kMsgCompleteA), 0u);
+  EXPECT_GT(run.stats.per_type.at(kMsgLevel), 0u);
+  EXPECT_GT(run.stats.per_type.at(kMsgCompleteB), 0u);
+  EXPECT_GT(run.stats.per_type.at(kMsgBlack), 0u);
+  EXPECT_GT(run.stats.per_type.at(kMsgGrayI), 0u);
+  // Every node announces its level exactly once.
+  EXPECT_EQ(run.stats.per_type.at(kMsgLevel), inst.g.node_count());
+}
+
+}  // namespace
+}  // namespace wcds::protocols

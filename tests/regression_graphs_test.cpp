@@ -1,0 +1,184 @@
+// Regression suite over canonical graph families with hand-derived expected
+// results.  The WCDS *validity* of both algorithms holds on any connected
+// graph (the UDG assumption is only needed for the approximation and packing
+// bounds), so these families also pin down exact behaviour on shapes where
+// the answer is known.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/exact.h"
+#include "baselines/greedy_cds.h"
+#include "baselines/greedy_wcds.h"
+#include "baselines/mis_tree_cds.h"
+#include "geom/point.h"
+#include "graph/bfs.h"
+#include "protocols/algorithm1_protocol.h"
+#include "protocols/algorithm2_protocol.h"
+#include "udg/udg.h"
+#include "wcds/algorithm1.h"
+#include "wcds/algorithm2.h"
+#include "wcds/verify.h"
+
+namespace wcds {
+namespace {
+
+graph::Graph path_graph(std::size_t n) {
+  graph::GraphBuilder b(n);
+  for (NodeId u = 0; u + 1 < n; ++u) b.add_edge(u, u + 1);
+  return std::move(b).build();
+}
+
+graph::Graph cycle_graph(std::size_t n) {
+  graph::GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    b.add_edge(u, static_cast<NodeId>((u + 1) % n));
+  }
+  return std::move(b).build();
+}
+
+graph::Graph clique(std::size_t n) {
+  graph::GraphBuilder b(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+// r x c king-move grid: a realizable dense UDG (points at spacing 0.9).
+graph::Graph king_grid(std::size_t rows, std::size_t cols) {
+  std::vector<geom::Point> pts;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      pts.push_back({0.7 * static_cast<double>(c),
+                     0.7 * static_cast<double>(r)});
+    }
+  }
+  return udg::build_udg(pts);
+}
+
+class FamilyTest : public ::testing::Test {
+ protected:
+  static void expect_all_valid(const graph::Graph& g) {
+    const auto a1 = core::algorithm1(g);
+    EXPECT_TRUE(core::audit_result(g, a1));
+    const auto a2 = core::algorithm2(g);
+    EXPECT_TRUE(core::audit_result(g, a2.result));
+    const auto d1 = protocols::run_algorithm1(g);
+    EXPECT_EQ(d1.wcds.dominators, a1.dominators);
+    const auto d2 = protocols::run_algorithm2(g);
+    EXPECT_EQ(d2.wcds.mis_dominators, a2.result.mis_dominators);
+    EXPECT_TRUE(core::is_wcds(g, baselines::greedy_wcds(g).mask));
+    EXPECT_TRUE(core::is_cds(g, baselines::greedy_cds(g).mask));
+    EXPECT_TRUE(core::is_cds(g, baselines::mis_tree_cds(g).mask));
+  }
+};
+
+TEST_F(FamilyTest, PathsOfManyLengths) {
+  for (const std::size_t n : {2u, 3u, 4u, 5u, 7u, 10u, 25u, 64u}) {
+    const auto g = path_graph(n);
+    expect_all_valid(g);
+    // Known: Algorithm I from root 0 picks exactly the even positions.
+    const auto a1 = core::algorithm1(g);
+    EXPECT_EQ(a1.size(), (n + 1) / 2) << "path " << n;
+  }
+}
+
+TEST_F(FamilyTest, PathExactOptimumShowsWeakConnectivityCost) {
+  // P_9: the unique size-3 dominating set {1, 4, 7} leaves the edges (2,3)
+  // and (5,6) white, so its weakly induced subgraph is disconnected — the
+  // minimum WCDS is 4 (e.g. {1, 3, 5, 7}, whose black edges chain end to
+  // end).  A nice witness that WCDS is strictly stronger than domination.
+  const auto g = path_graph(9);
+  std::vector<bool> dom_only(9, false);
+  dom_only[1] = dom_only[4] = dom_only[7] = true;
+  EXPECT_TRUE(core::is_dominating(g, dom_only));
+  EXPECT_FALSE(core::is_weakly_connected(g, dom_only));
+  std::vector<bool> wcds4(9, false);
+  wcds4[1] = wcds4[3] = wcds4[5] = wcds4[7] = true;
+  EXPECT_TRUE(core::is_wcds(g, wcds4));
+  const auto opt = baselines::exact_min_wcds(g);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(opt->members.size(), 4u);
+}
+
+TEST_F(FamilyTest, CyclesIncludingThreeHopPairCases) {
+  for (const std::size_t n : {3u, 4u, 5u, 6u, 7u, 9u, 12u, 30u}) {
+    expect_all_valid(cycle_graph(n));
+  }
+  // C7 is the minimal cycle whose ID-ranked MIS has a 3-hop pair.
+  const auto out = core::algorithm2(cycle_graph(7));
+  EXPECT_EQ(out.result.additional_dominators.size(), 1u);
+}
+
+TEST_F(FamilyTest, CliquesPickSingleDominator) {
+  for (const std::size_t n : {2u, 3u, 8u, 20u}) {
+    const auto g = clique(n);
+    const auto a2 = core::algorithm2(g);
+    EXPECT_EQ(a2.result.dominators, std::vector<NodeId>{0});
+    const auto a1 = core::algorithm1(g);
+    EXPECT_EQ(a1.size(), 1u);
+  }
+}
+
+TEST_F(FamilyTest, KingGrids) {
+  expect_all_valid(king_grid(3, 10));
+  expect_all_valid(king_grid(6, 6));
+  expect_all_valid(king_grid(1, 20));
+}
+
+TEST_F(FamilyTest, TwoNodeNetwork) {
+  const auto g = path_graph(2);
+  const auto a1 = core::algorithm1(g);
+  EXPECT_EQ(a1.dominators, std::vector<NodeId>{0});
+  const auto a2 = core::algorithm2(g);
+  EXPECT_EQ(a2.result.dominators, std::vector<NodeId>{0});
+  const auto d1 = protocols::run_algorithm1(g);
+  EXPECT_EQ(d1.leader, 0u);
+  EXPECT_EQ(d1.wcds.dominators, std::vector<NodeId>{0});
+}
+
+TEST_F(FamilyTest, StarWithHighIdCenter) {
+  // Center has the *highest* id: the ID-ranked MIS is all the leaves, and
+  // the WCDS is the leaf set (weakly connected through the center's edges).
+  graph::GraphBuilder b(6);
+  for (NodeId leaf = 0; leaf < 5; ++leaf) b.add_edge(leaf, 5);
+  const auto g = std::move(b).build();
+  const auto a2 = core::algorithm2(g);
+  EXPECT_EQ(a2.result.mis_dominators,
+            (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(core::audit_result(g, a2.result));
+  // Contrast: the exact optimum is the center alone.
+  const auto opt = baselines::exact_min_wcds(g);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(opt->members.size(), 1u);
+}
+
+TEST_F(FamilyTest, LongThinLadderUdg) {
+  // Two parallel rows 0.5 apart, spacing 0.8 along: a corridor-like UDG.
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({0.8 * i, 0.0});
+    pts.push_back({0.8 * i, 0.5});
+  }
+  const auto g = udg::build_udg(pts);
+  ASSERT_TRUE(graph::is_connected(g));
+  expect_all_valid(g);
+}
+
+TEST_F(FamilyTest, DumbbellBottleneck) {
+  // Two dense clusters joined by a 4-hop chain: forces additional
+  // dominators across the bridge.
+  std::vector<geom::Point> pts;
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back({0.3 * (i % 4), 0.3 * (i / 4)});              // left blob
+    pts.push_back({10.0 + 0.3 * (i % 4), 0.3 * (i / 4)});       // right blob
+  }
+  for (int i = 1; i < 11; ++i) pts.push_back({static_cast<double>(i), 0.0});
+  const auto g = udg::build_udg(pts);
+  ASSERT_TRUE(graph::is_connected(g));
+  expect_all_valid(g);
+}
+
+}  // namespace
+}  // namespace wcds

@@ -1,0 +1,129 @@
+// Distributed data plane: packets forwarded message-by-message through the
+// simulator must reach their destinations along the same quality of paths
+// the offline router computes.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.h"
+#include "protocols/routing_protocol.h"
+#include "test_util.h"
+#include "wcds/algorithm2.h"
+
+namespace wcds::protocols {
+namespace {
+
+TEST(RoutingProtocol, RejectsOutOfRangeEndpoints) {
+  const auto g = graph::from_edges(3, {{0, 1}, {1, 2}});
+  const auto out = core::algorithm2(g);
+  EXPECT_THROW(route_flows(g, out, {{0, 9}}), std::out_of_range);
+  EXPECT_THROW(route_flows(g, out, {{9, 0}}), std::out_of_range);
+}
+
+TEST(RoutingProtocol, SelfFlowDeliversWithZeroHops) {
+  const auto g = graph::from_edges(2, {{0, 1}});
+  const auto out = core::algorithm2(g);
+  const auto run = route_flows(g, out, {{1, 1}});
+  ASSERT_EQ(run.flows.size(), 1u);
+  EXPECT_TRUE(run.flows[0].delivered);
+  EXPECT_EQ(run.flows[0].hops, 0u);
+  EXPECT_EQ(run.flows[0].path, (std::vector<NodeId>{1}));
+}
+
+TEST(RoutingProtocol, AdjacentPairSingleHop) {
+  const auto g = graph::from_edges(3, {{0, 1}, {1, 2}});
+  const auto out = core::algorithm2(g);
+  const auto run = route_flows(g, out, {{0, 1}});
+  EXPECT_TRUE(run.flows[0].delivered);
+  EXPECT_EQ(run.flows[0].hops, 1u);
+  EXPECT_EQ(run.flows[0].path, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(RoutingProtocol, PathGraphMultiHop) {
+  const auto g = graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto out = core::algorithm2(g);
+  const auto run = route_flows(g, out, {{1, 4}});
+  ASSERT_TRUE(run.flows[0].delivered);
+  EXPECT_EQ(run.flows[0].path.front(), 1u);
+  EXPECT_EQ(run.flows[0].path.back(), 4u);
+  for (std::size_t i = 0; i + 1 < run.flows[0].path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(run.flows[0].path[i], run.flows[0].path[i + 1]));
+  }
+}
+
+TEST(RoutingProtocol, ConcurrentFlowsAllDeliver) {
+  const auto inst = testing::connected_udg(150, 10.0, 3);
+  const auto out = core::algorithm2(inst.g);
+  std::vector<FlowRequest> requests;
+  for (NodeId src = 0; src < inst.g.node_count(); src += 13) {
+    for (NodeId dst = 3; dst < inst.g.node_count(); dst += 17) {
+      requests.push_back({src, dst});
+    }
+  }
+  const auto run = route_flows(inst.g, out, requests);
+  EXPECT_EQ(run.delivered_count(), requests.size());
+  // Each flow's path consists of G-edges and matches its hop count.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& f = run.flows[i];
+    ASSERT_TRUE(f.delivered) << requests[i].src << "->" << requests[i].dst;
+    EXPECT_EQ(f.path.front(), requests[i].src);
+    EXPECT_EQ(f.path.back(), requests[i].dst);
+    EXPECT_EQ(f.hops + 1, f.path.size());
+    for (std::size_t h = 0; h + 1 < f.path.size(); ++h) {
+      EXPECT_TRUE(inst.g.has_edge(f.path[h], f.path[h + 1]));
+    }
+  }
+}
+
+TEST(RoutingProtocol, MatchesOfflineRouterPathLengths) {
+  const auto inst = testing::connected_udg(120, 11.0, 5);
+  const auto out = core::algorithm2(inst.g);
+  const routing::ClusterheadRouter router(inst.g, out);
+  std::vector<FlowRequest> requests;
+  for (NodeId dst = 1; dst < inst.g.node_count(); dst += 7) {
+    requests.push_back({0, dst});
+  }
+  const auto run = route_flows(inst.g, out, requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto offline = router.route(requests[i].src, requests[i].dst);
+    ASSERT_TRUE(run.flows[i].delivered);
+    EXPECT_EQ(run.flows[i].hops, offline.hops())
+        << requests[i].src << "->" << requests[i].dst;
+  }
+}
+
+TEST(RoutingProtocol, StretchWithinClusterheadEnvelope) {
+  const auto inst = testing::connected_udg(180, 9.0, 7);
+  const auto out = core::algorithm2(inst.g);
+  const auto bfs = graph::bfs_distances(inst.g, 4);
+  std::vector<FlowRequest> requests;
+  for (NodeId dst = 0; dst < inst.g.node_count(); dst += 5) {
+    if (dst != 4) requests.push_back({4, dst});
+  }
+  const auto run = route_flows(inst.g, out, requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(run.flows[i].delivered);
+    EXPECT_LE(run.flows[i].hops,
+              3 * static_cast<std::size_t>(bfs[requests[i].dst]) + 10);
+  }
+}
+
+TEST(RoutingProtocol, DeliversUnderAsyncDelays) {
+  const auto inst = testing::connected_udg(100, 10.0, 9);
+  const auto out = core::algorithm2(inst.g);
+  std::vector<FlowRequest> requests{{0, 99}, {99, 0}, {17, 55}, {55, 17}};
+  const auto run = route_flows(inst.g, out, requests,
+                               sim::DelayModel::uniform(1, 9, 31));
+  EXPECT_EQ(run.delivered_count(), requests.size());
+}
+
+TEST(RoutingProtocol, TransmissionAccountingMatchesHops) {
+  const auto inst = testing::connected_udg(90, 10.0, 11);
+  const auto out = core::algorithm2(inst.g);
+  std::vector<FlowRequest> requests{{0, 50}, {20, 80}};
+  const auto run = route_flows(inst.g, out, requests);
+  std::uint64_t total_hops = 0;
+  for (const auto& f : run.flows) total_hops += f.hops;
+  EXPECT_EQ(run.stats.transmissions, total_hops);
+}
+
+}  // namespace
+}  // namespace wcds::protocols

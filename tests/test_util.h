@@ -1,0 +1,55 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/workload.h"
+#include "graph/bfs.h"
+#include "graph/graph.h"
+#include "udg/udg.h"
+
+namespace wcds::testing {
+
+struct Instance {
+  std::vector<geom::Point> points;
+  graph::Graph g;
+};
+
+// A *connected* random UDG with the requested expected degree; bumps the
+// seed until the instance is connected (dense deployments almost always are).
+inline Instance connected_udg(std::uint32_t count, double expected_degree,
+                              std::uint64_t seed) {
+  double side = geom::side_for_expected_degree(count, expected_degree);
+  for (std::uint64_t attempt = 0; attempt < 256; ++attempt) {
+    Instance inst;
+    inst.points = geom::uniform_square(count, side, seed + attempt);
+    inst.g = udg::build_udg(inst.points);
+    if (graph::is_connected(inst.g)) return inst;
+    side *= 0.99;  // sparse targets sit near the connectivity threshold
+  }
+  throw std::runtime_error(
+      "connected_udg: no connected instance found; density too low");
+}
+
+// The paper's Figure 2 example shape: a 9-node graph whose WCDS is {1, 2}.
+// Node 1 and 2 are adjacent hubs; 1 dominates {3, 4, 5}, 2 dominates
+// {6, 7, 8}, and node 0 hangs off node 3's hub... kept simple: two adjacent
+// centers each with three private leaves plus one shared leaf.
+inline graph::Graph figure2_graph() {
+  return graph::from_edges(9, {
+                                  {1, 2},  // the two dominators
+                                  {1, 3},
+                                  {1, 4},
+                                  {1, 5},
+                                  {2, 6},
+                                  {2, 7},
+                                  {2, 8},
+                                  {1, 0},
+                                  {2, 0},  // shared leaf
+                              });
+}
+
+}  // namespace wcds::testing
