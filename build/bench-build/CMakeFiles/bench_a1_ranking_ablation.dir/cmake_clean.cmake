@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a1_ranking_ablation"
+  "../bench/bench_a1_ranking_ablation.pdb"
+  "CMakeFiles/bench_a1_ranking_ablation.dir/bench_a1_ranking_ablation.cpp.o"
+  "CMakeFiles/bench_a1_ranking_ablation.dir/bench_a1_ranking_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_ranking_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

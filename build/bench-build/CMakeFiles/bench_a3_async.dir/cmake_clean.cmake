@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a3_async"
+  "../bench/bench_a3_async.pdb"
+  "CMakeFiles/bench_a3_async.dir/bench_a3_async.cpp.o"
+  "CMakeFiles/bench_a3_async.dir/bench_a3_async.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a4_structures"
+  "../bench/bench_a4_structures.pdb"
+  "CMakeFiles/bench_a4_structures.dir/bench_a4_structures.cpp.o"
+  "CMakeFiles/bench_a4_structures.dir/bench_a4_structures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

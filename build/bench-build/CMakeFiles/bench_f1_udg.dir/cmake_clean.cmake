@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f1_udg"
+  "../bench/bench_f1_udg.pdb"
+  "CMakeFiles/bench_f1_udg.dir/bench_f1_udg.cpp.o"
+  "CMakeFiles/bench_f1_udg.dir/bench_f1_udg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_udg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

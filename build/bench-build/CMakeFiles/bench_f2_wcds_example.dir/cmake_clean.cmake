@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f2_wcds_example"
+  "../bench/bench_f2_wcds_example.pdb"
+  "CMakeFiles/bench_f2_wcds_example.dir/bench_f2_wcds_example.cpp.o"
+  "CMakeFiles/bench_f2_wcds_example.dir/bench_f2_wcds_example.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_wcds_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

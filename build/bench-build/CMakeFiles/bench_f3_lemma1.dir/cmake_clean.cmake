@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f3_lemma1"
+  "../bench/bench_f3_lemma1.pdb"
+  "CMakeFiles/bench_f3_lemma1.dir/bench_f3_lemma1.cpp.o"
+  "CMakeFiles/bench_f3_lemma1.dir/bench_f3_lemma1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_lemma1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f4_lemma2"
+  "../bench/bench_f4_lemma2.pdb"
+  "CMakeFiles/bench_f4_lemma2.dir/bench_f4_lemma2.cpp.o"
+  "CMakeFiles/bench_f4_lemma2.dir/bench_f4_lemma2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_lemma2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

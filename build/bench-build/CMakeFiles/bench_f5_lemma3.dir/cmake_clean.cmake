@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f5_lemma3"
+  "../bench/bench_f5_lemma3.pdb"
+  "CMakeFiles/bench_f5_lemma3.dir/bench_f5_lemma3.cpp.o"
+  "CMakeFiles/bench_f5_lemma3.dir/bench_f5_lemma3.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_lemma3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f6_levels"
+  "../bench/bench_f6_levels.pdb"
+  "CMakeFiles/bench_f6_levels.dir/bench_f6_levels.cpp.o"
+  "CMakeFiles/bench_f6_levels.dir/bench_f6_levels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

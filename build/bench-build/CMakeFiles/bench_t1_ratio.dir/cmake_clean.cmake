@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t1_ratio"
+  "../bench/bench_t1_ratio.pdb"
+  "CMakeFiles/bench_t1_ratio.dir/bench_t1_ratio.cpp.o"
+  "CMakeFiles/bench_t1_ratio.dir/bench_t1_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t2_sparseness"
+  "../bench/bench_t2_sparseness.pdb"
+  "CMakeFiles/bench_t2_sparseness.dir/bench_t2_sparseness.cpp.o"
+  "CMakeFiles/bench_t2_sparseness.dir/bench_t2_sparseness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_sparseness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

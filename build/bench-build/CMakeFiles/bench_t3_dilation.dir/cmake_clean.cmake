@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t3_dilation"
+  "../bench/bench_t3_dilation.pdb"
+  "CMakeFiles/bench_t3_dilation.dir/bench_t3_dilation.cpp.o"
+  "CMakeFiles/bench_t3_dilation.dir/bench_t3_dilation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_dilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_t4_complexity.cpp" "bench-build/CMakeFiles/bench_t4_complexity.dir/bench_t4_complexity.cpp.o" "gcc" "bench-build/CMakeFiles/bench_t4_complexity.dir/bench_t4_complexity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/wcds_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wcds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/udg/CMakeFiles/wcds_udg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mis/CMakeFiles/wcds_mis.dir/DependInfo.cmake"
+  "/root/repo/build/src/wcds/CMakeFiles/wcds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/wcds_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wcds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/wcds_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/spanner/CMakeFiles/wcds_spanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/wcds_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/maintenance/CMakeFiles/wcds_maintenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/wcds_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/wcds_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/wcds_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_support/CMakeFiles/wcds_bench_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

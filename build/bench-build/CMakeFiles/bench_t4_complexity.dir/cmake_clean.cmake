@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t4_complexity"
+  "../bench/bench_t4_complexity.pdb"
+  "CMakeFiles/bench_t4_complexity.dir/bench_t4_complexity.cpp.o"
+  "CMakeFiles/bench_t4_complexity.dir/bench_t4_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t6_maintenance"
+  "../bench/bench_t6_maintenance.pdb"
+  "CMakeFiles/bench_t6_maintenance.dir/bench_t6_maintenance.cpp.o"
+  "CMakeFiles/bench_t6_maintenance.dir/bench_t6_maintenance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t6_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

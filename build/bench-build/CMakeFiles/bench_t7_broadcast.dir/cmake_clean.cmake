@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t7_broadcast"
+  "../bench/bench_t7_broadcast.pdb"
+  "CMakeFiles/bench_t7_broadcast.dir/bench_t7_broadcast.cpp.o"
+  "CMakeFiles/bench_t7_broadcast.dir/bench_t7_broadcast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t7_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

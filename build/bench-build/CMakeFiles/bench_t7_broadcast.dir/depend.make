@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_t7_broadcast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backbone_broadcast.dir/backbone_broadcast.cpp.o"
+  "CMakeFiles/backbone_broadcast.dir/backbone_broadcast.cpp.o.d"
+  "backbone_broadcast"
+  "backbone_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backbone_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clusterhead_routing_demo.dir/clusterhead_routing.cpp.o"
+  "CMakeFiles/clusterhead_routing_demo.dir/clusterhead_routing.cpp.o.d"
+  "clusterhead_routing_demo"
+  "clusterhead_routing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clusterhead_routing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

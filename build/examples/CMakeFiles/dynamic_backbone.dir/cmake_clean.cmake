@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_backbone.dir/dynamic_backbone.cpp.o"
+  "CMakeFiles/dynamic_backbone.dir/dynamic_backbone.cpp.o.d"
+  "dynamic_backbone"
+  "dynamic_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_maintenance.dir/mobile_maintenance.cpp.o"
+  "CMakeFiles/mobile_maintenance.dir/mobile_maintenance.cpp.o.d"
+  "mobile_maintenance"
+  "mobile_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

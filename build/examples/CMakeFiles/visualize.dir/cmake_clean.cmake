@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize.dir/visualize.cpp.o"
+  "CMakeFiles/visualize.dir/visualize.cpp.o.d"
+  "visualize"
+  "visualize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/exact.cpp" "src/baselines/CMakeFiles/wcds_baselines.dir/exact.cpp.o" "gcc" "src/baselines/CMakeFiles/wcds_baselines.dir/exact.cpp.o.d"
+  "/root/repo/src/baselines/greedy_cds.cpp" "src/baselines/CMakeFiles/wcds_baselines.dir/greedy_cds.cpp.o" "gcc" "src/baselines/CMakeFiles/wcds_baselines.dir/greedy_cds.cpp.o.d"
+  "/root/repo/src/baselines/greedy_wcds.cpp" "src/baselines/CMakeFiles/wcds_baselines.dir/greedy_wcds.cpp.o" "gcc" "src/baselines/CMakeFiles/wcds_baselines.dir/greedy_wcds.cpp.o.d"
+  "/root/repo/src/baselines/mis_tree_cds.cpp" "src/baselines/CMakeFiles/wcds_baselines.dir/mis_tree_cds.cpp.o" "gcc" "src/baselines/CMakeFiles/wcds_baselines.dir/mis_tree_cds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/wcds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/wcds/CMakeFiles/wcds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mis/CMakeFiles/wcds_mis.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/wcds_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

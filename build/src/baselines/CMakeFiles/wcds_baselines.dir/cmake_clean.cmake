@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_baselines.dir/exact.cpp.o"
+  "CMakeFiles/wcds_baselines.dir/exact.cpp.o.d"
+  "CMakeFiles/wcds_baselines.dir/greedy_cds.cpp.o"
+  "CMakeFiles/wcds_baselines.dir/greedy_cds.cpp.o.d"
+  "CMakeFiles/wcds_baselines.dir/greedy_wcds.cpp.o"
+  "CMakeFiles/wcds_baselines.dir/greedy_wcds.cpp.o.d"
+  "CMakeFiles/wcds_baselines.dir/mis_tree_cds.cpp.o"
+  "CMakeFiles/wcds_baselines.dir/mis_tree_cds.cpp.o.d"
+  "libwcds_baselines.a"
+  "libwcds_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwcds_baselines.a"
+)

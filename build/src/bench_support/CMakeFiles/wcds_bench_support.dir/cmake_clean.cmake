@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_bench_support.dir/stats.cpp.o"
+  "CMakeFiles/wcds_bench_support.dir/stats.cpp.o.d"
+  "CMakeFiles/wcds_bench_support.dir/table.cpp.o"
+  "CMakeFiles/wcds_bench_support.dir/table.cpp.o.d"
+  "libwcds_bench_support.a"
+  "libwcds_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broadcast/backbone_broadcast.cpp" "src/broadcast/CMakeFiles/wcds_broadcast.dir/backbone_broadcast.cpp.o" "gcc" "src/broadcast/CMakeFiles/wcds_broadcast.dir/backbone_broadcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/wcds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wcds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/wcds_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

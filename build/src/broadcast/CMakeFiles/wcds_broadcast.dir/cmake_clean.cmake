@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_broadcast.dir/backbone_broadcast.cpp.o"
+  "CMakeFiles/wcds_broadcast.dir/backbone_broadcast.cpp.o.d"
+  "libwcds_broadcast.a"
+  "libwcds_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwcds_broadcast.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wcds_broadcast.
+# This may be replaced when dependencies are built.

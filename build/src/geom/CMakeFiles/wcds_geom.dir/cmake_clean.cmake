@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_geom.dir/point.cpp.o"
+  "CMakeFiles/wcds_geom.dir/point.cpp.o.d"
+  "CMakeFiles/wcds_geom.dir/workload.cpp.o"
+  "CMakeFiles/wcds_geom.dir/workload.cpp.o.d"
+  "libwcds_geom.a"
+  "libwcds_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cpp" "src/graph/CMakeFiles/wcds_graph.dir/bfs.cpp.o" "gcc" "src/graph/CMakeFiles/wcds_graph.dir/bfs.cpp.o.d"
+  "/root/repo/src/graph/diameter.cpp" "src/graph/CMakeFiles/wcds_graph.dir/diameter.cpp.o" "gcc" "src/graph/CMakeFiles/wcds_graph.dir/diameter.cpp.o.d"
+  "/root/repo/src/graph/dijkstra.cpp" "src/graph/CMakeFiles/wcds_graph.dir/dijkstra.cpp.o" "gcc" "src/graph/CMakeFiles/wcds_graph.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/wcds_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/wcds_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/spanning_tree.cpp" "src/graph/CMakeFiles/wcds_graph.dir/spanning_tree.cpp.o" "gcc" "src/graph/CMakeFiles/wcds_graph.dir/spanning_tree.cpp.o.d"
+  "/root/repo/src/graph/subgraph.cpp" "src/graph/CMakeFiles/wcds_graph.dir/subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/wcds_graph.dir/subgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/wcds_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_graph.dir/bfs.cpp.o"
+  "CMakeFiles/wcds_graph.dir/bfs.cpp.o.d"
+  "CMakeFiles/wcds_graph.dir/diameter.cpp.o"
+  "CMakeFiles/wcds_graph.dir/diameter.cpp.o.d"
+  "CMakeFiles/wcds_graph.dir/dijkstra.cpp.o"
+  "CMakeFiles/wcds_graph.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/wcds_graph.dir/graph.cpp.o"
+  "CMakeFiles/wcds_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/wcds_graph.dir/spanning_tree.cpp.o"
+  "CMakeFiles/wcds_graph.dir/spanning_tree.cpp.o.d"
+  "CMakeFiles/wcds_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/wcds_graph.dir/subgraph.cpp.o.d"
+  "libwcds_graph.a"
+  "libwcds_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_io.dir/svg.cpp.o"
+  "CMakeFiles/wcds_io.dir/svg.cpp.o.d"
+  "CMakeFiles/wcds_io.dir/text_format.cpp.o"
+  "CMakeFiles/wcds_io.dir/text_format.cpp.o.d"
+  "libwcds_io.a"
+  "libwcds_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maintenance/dynamic_wcds.cpp" "src/maintenance/CMakeFiles/wcds_maintenance.dir/dynamic_wcds.cpp.o" "gcc" "src/maintenance/CMakeFiles/wcds_maintenance.dir/dynamic_wcds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/wcds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/udg/CMakeFiles/wcds_udg.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/wcds_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

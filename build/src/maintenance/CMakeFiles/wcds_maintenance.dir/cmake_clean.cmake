@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_maintenance.dir/dynamic_wcds.cpp.o"
+  "CMakeFiles/wcds_maintenance.dir/dynamic_wcds.cpp.o.d"
+  "libwcds_maintenance.a"
+  "libwcds_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_mis.dir/mis.cpp.o"
+  "CMakeFiles/wcds_mis.dir/mis.cpp.o.d"
+  "CMakeFiles/wcds_mis.dir/properties.cpp.o"
+  "CMakeFiles/wcds_mis.dir/properties.cpp.o.d"
+  "CMakeFiles/wcds_mis.dir/ranking.cpp.o"
+  "CMakeFiles/wcds_mis.dir/ranking.cpp.o.d"
+  "libwcds_mis.a"
+  "libwcds_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

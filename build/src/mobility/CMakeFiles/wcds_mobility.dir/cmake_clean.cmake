@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_mobility.dir/models.cpp.o"
+  "CMakeFiles/wcds_mobility.dir/models.cpp.o.d"
+  "libwcds_mobility.a"
+  "libwcds_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/algorithm1_protocol.cpp" "src/protocols/CMakeFiles/wcds_protocols.dir/algorithm1_protocol.cpp.o" "gcc" "src/protocols/CMakeFiles/wcds_protocols.dir/algorithm1_protocol.cpp.o.d"
+  "/root/repo/src/protocols/algorithm2_protocol.cpp" "src/protocols/CMakeFiles/wcds_protocols.dir/algorithm2_protocol.cpp.o" "gcc" "src/protocols/CMakeFiles/wcds_protocols.dir/algorithm2_protocol.cpp.o.d"
+  "/root/repo/src/protocols/mis_maintenance_protocol.cpp" "src/protocols/CMakeFiles/wcds_protocols.dir/mis_maintenance_protocol.cpp.o" "gcc" "src/protocols/CMakeFiles/wcds_protocols.dir/mis_maintenance_protocol.cpp.o.d"
+  "/root/repo/src/protocols/routing_protocol.cpp" "src/protocols/CMakeFiles/wcds_protocols.dir/routing_protocol.cpp.o" "gcc" "src/protocols/CMakeFiles/wcds_protocols.dir/routing_protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/wcds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/wcds/CMakeFiles/wcds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wcds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/wcds_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/mis/CMakeFiles/wcds_mis.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/wcds_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

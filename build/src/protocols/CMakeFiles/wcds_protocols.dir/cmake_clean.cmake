@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_protocols.dir/algorithm1_protocol.cpp.o"
+  "CMakeFiles/wcds_protocols.dir/algorithm1_protocol.cpp.o.d"
+  "CMakeFiles/wcds_protocols.dir/algorithm2_protocol.cpp.o"
+  "CMakeFiles/wcds_protocols.dir/algorithm2_protocol.cpp.o.d"
+  "CMakeFiles/wcds_protocols.dir/mis_maintenance_protocol.cpp.o"
+  "CMakeFiles/wcds_protocols.dir/mis_maintenance_protocol.cpp.o.d"
+  "CMakeFiles/wcds_protocols.dir/routing_protocol.cpp.o"
+  "CMakeFiles/wcds_protocols.dir/routing_protocol.cpp.o.d"
+  "libwcds_protocols.a"
+  "libwcds_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wcds_protocols.
+# This may be replaced when dependencies are built.

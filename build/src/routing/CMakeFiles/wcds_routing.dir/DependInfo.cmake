@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/clusterhead_routing.cpp" "src/routing/CMakeFiles/wcds_routing.dir/clusterhead_routing.cpp.o" "gcc" "src/routing/CMakeFiles/wcds_routing.dir/clusterhead_routing.cpp.o.d"
+  "/root/repo/src/routing/geographic.cpp" "src/routing/CMakeFiles/wcds_routing.dir/geographic.cpp.o" "gcc" "src/routing/CMakeFiles/wcds_routing.dir/geographic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/wcds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/wcds/CMakeFiles/wcds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mis/CMakeFiles/wcds_mis.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/wcds_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_routing.dir/clusterhead_routing.cpp.o"
+  "CMakeFiles/wcds_routing.dir/clusterhead_routing.cpp.o.d"
+  "CMakeFiles/wcds_routing.dir/geographic.cpp.o"
+  "CMakeFiles/wcds_routing.dir/geographic.cpp.o.d"
+  "libwcds_routing.a"
+  "libwcds_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_sim.dir/dynamic_runtime.cpp.o"
+  "CMakeFiles/wcds_sim.dir/dynamic_runtime.cpp.o.d"
+  "CMakeFiles/wcds_sim.dir/runtime.cpp.o"
+  "CMakeFiles/wcds_sim.dir/runtime.cpp.o.d"
+  "libwcds_sim.a"
+  "libwcds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

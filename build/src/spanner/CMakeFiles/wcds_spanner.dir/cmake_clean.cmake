@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_spanner.dir/analysis.cpp.o"
+  "CMakeFiles/wcds_spanner.dir/analysis.cpp.o.d"
+  "CMakeFiles/wcds_spanner.dir/geometric_structures.cpp.o"
+  "CMakeFiles/wcds_spanner.dir/geometric_structures.cpp.o.d"
+  "libwcds_spanner.a"
+  "libwcds_spanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_spanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

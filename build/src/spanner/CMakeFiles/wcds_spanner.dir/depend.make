@@ -1,0 +1,2 @@
+# Empty dependencies file for wcds_spanner.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_udg.dir/udg.cpp.o"
+  "CMakeFiles/wcds_udg.dir/udg.cpp.o.d"
+  "libwcds_udg.a"
+  "libwcds_udg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_udg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wcds_udg.
+# This may be replaced when dependencies are built.

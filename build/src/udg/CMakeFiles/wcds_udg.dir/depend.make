@@ -1,0 +1,2 @@
+# Empty dependencies file for wcds_udg.
+# This may be replaced when dependencies are built.

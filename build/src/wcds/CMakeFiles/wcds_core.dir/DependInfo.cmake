@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wcds/algorithm1.cpp" "src/wcds/CMakeFiles/wcds_core.dir/algorithm1.cpp.o" "gcc" "src/wcds/CMakeFiles/wcds_core.dir/algorithm1.cpp.o.d"
+  "/root/repo/src/wcds/algorithm2.cpp" "src/wcds/CMakeFiles/wcds_core.dir/algorithm2.cpp.o" "gcc" "src/wcds/CMakeFiles/wcds_core.dir/algorithm2.cpp.o.d"
+  "/root/repo/src/wcds/verify.cpp" "src/wcds/CMakeFiles/wcds_core.dir/verify.cpp.o" "gcc" "src/wcds/CMakeFiles/wcds_core.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/wcds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mis/CMakeFiles/wcds_mis.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/wcds_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_core.dir/algorithm1.cpp.o"
+  "CMakeFiles/wcds_core.dir/algorithm1.cpp.o.d"
+  "CMakeFiles/wcds_core.dir/algorithm2.cpp.o"
+  "CMakeFiles/wcds_core.dir/algorithm2.cpp.o.d"
+  "CMakeFiles/wcds_core.dir/verify.cpp.o"
+  "CMakeFiles/wcds_core.dir/verify.cpp.o.d"
+  "libwcds_core.a"
+  "libwcds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

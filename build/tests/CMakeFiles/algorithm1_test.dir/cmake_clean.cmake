@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm1_test.dir/algorithm1_test.cpp.o"
+  "CMakeFiles/algorithm1_test.dir/algorithm1_test.cpp.o.d"
+  "algorithm1_test"
+  "algorithm1_test.pdb"
+  "algorithm1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

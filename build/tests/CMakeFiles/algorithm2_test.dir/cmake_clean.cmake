@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm2_test.dir/algorithm2_test.cpp.o"
+  "CMakeFiles/algorithm2_test.dir/algorithm2_test.cpp.o.d"
+  "algorithm2_test"
+  "algorithm2_test.pdb"
+  "algorithm2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

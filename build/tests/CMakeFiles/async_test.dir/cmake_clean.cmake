@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_test.dir/async_test.cpp.o"
+  "CMakeFiles/async_test.dir/async_test.cpp.o.d"
+  "async_test"
+  "async_test.pdb"
+  "async_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

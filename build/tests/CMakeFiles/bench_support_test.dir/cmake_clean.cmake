@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_support_test.dir/bench_support_test.cpp.o"
+  "CMakeFiles/bench_support_test.dir/bench_support_test.cpp.o.d"
+  "bench_support_test"
+  "bench_support_test.pdb"
+  "bench_support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

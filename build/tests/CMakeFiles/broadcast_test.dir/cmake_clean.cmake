@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_test.dir/broadcast_test.cpp.o"
+  "CMakeFiles/broadcast_test.dir/broadcast_test.cpp.o.d"
+  "broadcast_test"
+  "broadcast_test.pdb"
+  "broadcast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

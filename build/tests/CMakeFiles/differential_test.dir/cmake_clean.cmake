@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_test.dir/differential_test.cpp.o"
+  "CMakeFiles/differential_test.dir/differential_test.cpp.o.d"
+  "differential_test"
+  "differential_test.pdb"
+  "differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

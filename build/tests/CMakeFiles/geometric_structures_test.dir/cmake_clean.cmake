@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geometric_structures_test.dir/geometric_structures_test.cpp.o"
+  "CMakeFiles/geometric_structures_test.dir/geometric_structures_test.cpp.o.d"
+  "geometric_structures_test"
+  "geometric_structures_test.pdb"
+  "geometric_structures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geometric_structures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

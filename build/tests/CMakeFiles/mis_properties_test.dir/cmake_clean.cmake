@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mis_properties_test.dir/mis_properties_test.cpp.o"
+  "CMakeFiles/mis_properties_test.dir/mis_properties_test.cpp.o.d"
+  "mis_properties_test"
+  "mis_properties_test.pdb"
+  "mis_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mis_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mis_test.dir/mis_test.cpp.o"
+  "CMakeFiles/mis_test.dir/mis_test.cpp.o.d"
+  "mis_test"
+  "mis_test.pdb"
+  "mis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

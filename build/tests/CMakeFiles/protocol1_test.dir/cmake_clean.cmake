@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol1_test.dir/protocol1_test.cpp.o"
+  "CMakeFiles/protocol1_test.dir/protocol1_test.cpp.o.d"
+  "protocol1_test"
+  "protocol1_test.pdb"
+  "protocol1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol2_test.dir/protocol2_test.cpp.o"
+  "CMakeFiles/protocol2_test.dir/protocol2_test.cpp.o.d"
+  "protocol2_test"
+  "protocol2_test.pdb"
+  "protocol2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_graphs_test.dir/regression_graphs_test.cpp.o"
+  "CMakeFiles/regression_graphs_test.dir/regression_graphs_test.cpp.o.d"
+  "regression_graphs_test"
+  "regression_graphs_test.pdb"
+  "regression_graphs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_graphs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

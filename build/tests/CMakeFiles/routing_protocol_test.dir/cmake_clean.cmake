@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_protocol_test.dir/routing_protocol_test.cpp.o"
+  "CMakeFiles/routing_protocol_test.dir/routing_protocol_test.cpp.o.d"
+  "routing_protocol_test"
+  "routing_protocol_test.pdb"
+  "routing_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

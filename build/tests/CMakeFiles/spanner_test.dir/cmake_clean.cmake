@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spanner_test.dir/spanner_test.cpp.o"
+  "CMakeFiles/spanner_test.dir/spanner_test.cpp.o.d"
+  "spanner_test"
+  "spanner_test.pdb"
+  "spanner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udg_test.dir/udg_test.cpp.o"
+  "CMakeFiles/udg_test.dir/udg_test.cpp.o.d"
+  "udg_test"
+  "udg_test.pdb"
+  "udg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds_verify_test.dir/wcds_verify_test.cpp.o"
+  "CMakeFiles/wcds_verify_test.dir/wcds_verify_test.cpp.o.d"
+  "wcds_verify_test"
+  "wcds_verify_test.pdb"
+  "wcds_verify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds_verify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

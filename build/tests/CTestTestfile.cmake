@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/udg_test[1]_include.cmake")
+include("/root/repo/build/tests/mis_test[1]_include.cmake")
+include("/root/repo/build/tests/mis_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/wcds_verify_test[1]_include.cmake")
+include("/root/repo/build/tests/algorithm1_test[1]_include.cmake")
+include("/root/repo/build/tests/algorithm2_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol1_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol2_test[1]_include.cmake")
+include("/root/repo/build/tests/spanner_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_test[1]_include.cmake")
+include("/root/repo/build/tests/routing_protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/maintenance_test[1]_include.cmake")
+include("/root/repo/build/tests/mis_maintenance_test[1]_include.cmake")
+include("/root/repo/build/tests/bench_support_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/broadcast_test[1]_include.cmake")
+include("/root/repo/build/tests/mobility_test[1]_include.cmake")
+include("/root/repo/build/tests/async_test[1]_include.cmake")
+include("/root/repo/build/tests/regression_graphs_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/geometric_structures_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcds.dir/wcds_cli.cpp.o"
+  "CMakeFiles/wcds.dir/wcds_cli.cpp.o.d"
+  "wcds"
+  "wcds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
