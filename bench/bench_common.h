@@ -14,6 +14,7 @@
 
 #include "bench_support/stats.h"
 #include "bench_support/table.h"
+#include "check/check.h"
 #include "geom/point.h"
 #include "geom/workload.h"
 #include "graph/bfs.h"
@@ -61,10 +62,12 @@ inline Instance connected_instance_of(geom::WorkloadKind kind,
   throw std::runtime_error("connected_instance_of: density too low");
 }
 
-// Standard main body: reproduction tables first, then timings.
+// Standard main body: reproduction tables first, then timings.  Invariant
+// audits are switched off so the timings measure the bare algorithms.
 // Usage:  WCDS_BENCH_MAIN(print_experiment_tables)
 #define WCDS_BENCH_MAIN(print_tables_fn)                         \
   int main(int argc, char** argv) {                              \
+    ::wcds::check::set_audits_enabled(false);                    \
     print_tables_fn();                                           \
     ::benchmark::Initialize(&argc, argv);                        \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {  \

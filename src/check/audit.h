@@ -1,0 +1,76 @@
+// Paper-invariant auditor: machine-checks the structural theorems of
+// Alzoubi-Wan-Frieder (ICDCS 2003) on a concrete (graph, WcdsResult) pair.
+//
+// Every violated invariant fails through the WCDS_CHECK layer with a message
+// naming the lemma/theorem, so a corrupted construction surfaces as a
+// check::CheckError (or aborts under the release-audit handler) instead of a
+// silently wrong experiment.  The constants below are the re-derived
+// annulus-packing bounds (see docs/CHECKING.md and DESIGN.md for the
+// derivation; the published OCR garbles them).
+//
+// Invariant families, in audit order:
+//   * WcdsResult consistency — mask/color/dominators agree, mis + additional
+//     partition the dominator set (the audit_result contract, itemized);
+//   * Section 1 — the set dominates and is weakly connected, judged per
+//     connected component;
+//   * Section 2 — mis_dominators is a maximal independent set (skipped when
+//     mis_dominators is empty: pure-greedy baselines carry no MIS);
+//   * Lemma 1   — (unit-disk) a non-MIS node has <= 5 MIS neighbors;
+//   * Lemma 2   — (unit-disk) an MIS node has <= 23 MIS nodes at exactly
+//     two hops and <= 47 within three hops;
+//   * Lemma 3   — complementary MIS subsets are <= 3 hops apart (H_3
+//     connected per component);
+//   * Theorem 4 — under the (level, ID) ranking, exactly 2 (H_2 connected);
+//   * Theorem 10 — (unit-disk) spanner edge count <= 9*#gray + 47*|S|;
+//   * Theorem 11 — spanner hop distance <= 3*delta + 2 for non-adjacent
+//     pairs (sampled BFS sources; opt-in, it is the expensive one).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "wcds/wcds_result.h"
+
+namespace wcds::check {
+
+// Re-derived packing constants (Section 2; see docs/CHECKING.md).
+inline constexpr std::size_t kLemma1MaxMisNeighbors = 5;
+inline constexpr std::size_t kLemma2TwoHopBound = 23;
+inline constexpr std::size_t kLemma2ThreeHopBound = 47;
+inline constexpr HopCount kLemma3MaxSubsetDistance = 3;
+inline constexpr HopCount kTheorem4SubsetDistance = 2;
+inline constexpr std::size_t kTheorem10GrayFactor = 9;
+inline constexpr std::size_t kTheorem10MisFactor = 47;
+inline constexpr HopCount kTheorem11Multiplier = 3;
+inline constexpr HopCount kTheorem11Additive = 2;
+
+struct AuditOptions {
+  // The graph is a unit-disk graph: enforce the packing bounds (Lemmas 1-2,
+  // Theorem 10).  Off by default — they are false for arbitrary graphs.
+  bool unit_disk = false;
+
+  // The MIS was built under the (level, ID) ranking: enforce Theorem 4's
+  // two-hop complementary-subset distance instead of only Lemma 3's three.
+  bool level_ranked = false;
+
+  // Verify Theorem 11's dilation bound from `dilation_sources` sampled BFS
+  // sources (exact when >= node count).  Costs extra BFS rounds.
+  bool check_dilation = false;
+  std::size_t dilation_sources = 4;
+
+  // Restrict the audit to active nodes (dynamic maintenance).  Inactive
+  // nodes must be isolated in `g` and outside the dominator set; they are
+  // exempt from domination/coloring requirements.
+  const std::vector<bool>* active = nullptr;
+};
+
+// Runs every applicable invariant; failures raise through the check layer
+// with the lemma/theorem name in the message.  Callers gate on
+// check::audits_enabled() when the audit is a debug tripwire rather than an
+// explicit verification request.
+void audit_invariants(const graph::Graph& g, const core::WcdsResult& result,
+                      const AuditOptions& options = {});
+
+}  // namespace wcds::check

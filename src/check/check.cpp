@@ -1,0 +1,74 @@
+#include "check/check.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wcds::check {
+namespace {
+
+std::atomic<FailureHandler> g_handler{&throw_handler};
+std::atomic<bool> g_audits_enabled{audits_compiled_in()};
+
+}  // namespace
+
+std::string format_failure(const FailureContext& context) {
+  std::ostringstream out;
+  out << context.file << ":" << context.line
+      << ": check failed: " << context.expression;
+  if (!context.message.empty()) out << "  " << context.message;
+  return out.str();
+}
+
+FailureHandler set_failure_handler(FailureHandler handler) noexcept {
+  return g_handler.exchange(handler == nullptr ? &throw_handler : handler);
+}
+
+FailureHandler failure_handler() noexcept { return g_handler.load(); }
+
+void throw_handler(const FailureContext& context) {
+  throw CheckError(format_failure(context));
+}
+
+void abort_handler(const FailureContext& context) {
+  const std::string text = format_failure(context);
+  std::fputs(text.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void fail(const char* expression, const char* file, int line,
+          std::string message) {
+  const FailureContext context{expression, file, line, std::move(message)};
+  g_handler.load()(context);
+  // A custom handler that returns still may not let the caller continue past
+  // a failed invariant.
+  throw CheckError(format_failure(context));
+}
+
+void fail_argument(const char* expression, const char* file, int line,
+                   std::string message) {
+  throw std::invalid_argument(
+      format_failure({expression, file, line, std::move(message)}));
+}
+
+void fail_bounds(const char* expression, const char* file, int line,
+                 std::string message) {
+  throw std::out_of_range(
+      format_failure({expression, file, line, std::move(message)}));
+}
+
+void fail_state(const char* expression, const char* file, int line,
+                std::string message) {
+  throw std::logic_error(
+      format_failure({expression, file, line, std::move(message)}));
+}
+
+bool set_audits_enabled(bool enabled) noexcept {
+  return g_audits_enabled.exchange(enabled);
+}
+
+bool audits_enabled() noexcept { return g_audits_enabled.load(); }
+
+}  // namespace wcds::check

@@ -1,0 +1,238 @@
+// Contract/invariant checking layer used across every wcds subsystem.
+//
+// Three macro families, all with optional streamed messages:
+//
+//   WCDS_CHECK(cond, "context " << value)       always-on invariant check;
+//   WCDS_CHECK_EQ/NE/LT/LE/GT/GE(a, b, ...)     comparison forms that format
+//                                               both operands on failure;
+//   WCDS_DCHECK / WCDS_DCHECK_*                 compiled out unless audits
+//                                               are enabled (see below);
+//   WCDS_REQUIRE(cond, ...)                     API-precondition forms with
+//   WCDS_REQUIRE_BOUNDS(cond, ...)              fixed exception types
+//   WCDS_REQUIRE_STATE(cond, ...)               (invalid_argument /
+//                                               out_of_range / logic_error),
+//                                               matching the library's
+//                                               documented contracts.
+//
+// CHECK/DCHECK failures route through a pluggable failure handler: the
+// default throws check::CheckError (what tests want); abort_handler prints
+// the formatted failure and aborts (release-audit mode).  REQUIRE failures
+// always throw their std exception type — argument errors are part of the
+// public API contract, not a tunable policy.
+//
+// Audit gating: WCDS_ENABLE_AUDITS (set by the WCDS_AUDIT_INVARIANTS CMake
+// option, defaulting to !NDEBUG when unset) fixes the compile-time default;
+// set_audits_enabled() adjusts it at runtime (benchmarks switch audits off
+// so measured hot paths stay honest).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#if !defined(WCDS_ENABLE_AUDITS)
+#if defined(NDEBUG)
+#define WCDS_ENABLE_AUDITS 0
+#else
+#define WCDS_ENABLE_AUDITS 1
+#endif
+#endif
+
+namespace wcds::check {
+
+// Everything the failure site knows, handed to the failure handler.
+struct FailureContext {
+  const char* expression;  // stringified condition
+  const char* file;
+  int line;
+  std::string message;  // streamed user message ("" if none)
+};
+
+// "<file>:<line>: check failed: <expr>  <message>"
+[[nodiscard]] std::string format_failure(const FailureContext& context);
+
+// Thrown by the default failure handler.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+using FailureHandler = void (*)(const FailureContext&);
+
+// Installs `handler` and returns the previous one.  Not thread-safe against
+// concurrent check failures (swap handlers only at quiescent points).
+FailureHandler set_failure_handler(FailureHandler handler) noexcept;
+[[nodiscard]] FailureHandler failure_handler() noexcept;
+
+// Built-in handlers.
+[[noreturn]] void throw_handler(const FailureContext& context);  // default
+[[noreturn]] void abort_handler(const FailureContext& context);
+
+// Routes through the installed handler; throws CheckError itself if a
+// custom handler declines to terminate.
+[[noreturn]] void fail(const char* expression, const char* file, int line,
+                       std::string message);
+
+// REQUIRE failures: fixed exception types, not handler-routed.
+[[noreturn]] void fail_argument(const char* expression, const char* file,
+                                int line, std::string message);
+[[noreturn]] void fail_bounds(const char* expression, const char* file,
+                              int line, std::string message);
+[[noreturn]] void fail_state(const char* expression, const char* file,
+                             int line, std::string message);
+
+// Compile-time default for DCHECKs and the paper-invariant auditor.
+[[nodiscard]] constexpr bool audits_compiled_in() noexcept {
+  return WCDS_ENABLE_AUDITS != 0;
+}
+
+// Runtime switch (initially audits_compiled_in()); returns the previous
+// value.  audits_enabled() gates every wired-in audit_invariants call.
+bool set_audits_enabled(bool enabled) noexcept;
+[[nodiscard]] bool audits_enabled() noexcept;
+
+namespace internal {
+
+// Builds the optional streamed message: (MessageBuilder{} << a << b).str().
+struct MessageBuilder {
+  std::ostringstream out;
+
+  template <typename T>
+  MessageBuilder& operator<<(const T& value) & {
+    out << value;
+    return *this;
+  }
+  template <typename T>
+  MessageBuilder&& operator<<(const T& value) && {
+    out << value;
+    return std::move(*this);
+  }
+  [[nodiscard]] std::string str() const { return out.str(); }
+};
+
+// "(lhs vs rhs)  <message>" for the comparison macros.
+template <typename A, typename B>
+[[nodiscard]] std::string binary_message(const A& lhs, const B& rhs,
+                                         const std::string& message) {
+  std::ostringstream out;
+  out << "(" << lhs << " vs " << rhs << ")";
+  if (!message.empty()) out << "  " << message;
+  return out.str();
+}
+
+}  // namespace internal
+}  // namespace wcds::check
+
+// --- Always-on checks -------------------------------------------------------
+
+#define WCDS_CHECK(cond, ...)                                               \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::wcds::check::fail(                                                  \
+          #cond, __FILE__, __LINE__,                                        \
+          (::wcds::check::internal::MessageBuilder{} __VA_OPT__(<<)         \
+               __VA_ARGS__)                                                 \
+              .str());                                                      \
+    }                                                                       \
+  } while (false)
+
+#define WCDS_CHECK_OP_(op, a, b, ...)                                       \
+  do {                                                                      \
+    const auto& wcds_check_lhs_ = (a);                                      \
+    const auto& wcds_check_rhs_ = (b);                                      \
+    if (!(wcds_check_lhs_ op wcds_check_rhs_)) [[unlikely]] {               \
+      ::wcds::check::fail(                                                  \
+          #a " " #op " " #b, __FILE__, __LINE__,                            \
+          ::wcds::check::internal::binary_message(                          \
+              wcds_check_lhs_, wcds_check_rhs_,                             \
+              (::wcds::check::internal::MessageBuilder{} __VA_OPT__(<<)     \
+                   __VA_ARGS__)                                             \
+                  .str()));                                                 \
+    }                                                                       \
+  } while (false)
+
+#define WCDS_CHECK_EQ(a, b, ...) WCDS_CHECK_OP_(==, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define WCDS_CHECK_NE(a, b, ...) WCDS_CHECK_OP_(!=, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define WCDS_CHECK_LT(a, b, ...) WCDS_CHECK_OP_(<, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define WCDS_CHECK_LE(a, b, ...) WCDS_CHECK_OP_(<=, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define WCDS_CHECK_GT(a, b, ...) WCDS_CHECK_OP_(>, a, b __VA_OPT__(, ) __VA_ARGS__)
+#define WCDS_CHECK_GE(a, b, ...) WCDS_CHECK_OP_(>=, a, b __VA_OPT__(, ) __VA_ARGS__)
+
+// --- Debug/audit checks (compiled out when audits are off) ------------------
+
+#if WCDS_ENABLE_AUDITS
+#define WCDS_DCHECK(cond, ...) WCDS_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#define WCDS_DCHECK_EQ(a, b, ...) WCDS_CHECK_EQ(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define WCDS_DCHECK_NE(a, b, ...) WCDS_CHECK_NE(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define WCDS_DCHECK_LT(a, b, ...) WCDS_CHECK_LT(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define WCDS_DCHECK_LE(a, b, ...) WCDS_CHECK_LE(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define WCDS_DCHECK_GT(a, b, ...) WCDS_CHECK_GT(a, b __VA_OPT__(, ) __VA_ARGS__)
+#define WCDS_DCHECK_GE(a, b, ...) WCDS_CHECK_GE(a, b __VA_OPT__(, ) __VA_ARGS__)
+#else
+// Dead-branch expansion keeps operands odr-used (no unused-variable
+// warnings) while the optimizer removes the whole statement.
+#define WCDS_DCHECK(cond, ...)                                              \
+  do {                                                                      \
+    if (false) WCDS_CHECK(cond __VA_OPT__(, ) __VA_ARGS__);                 \
+  } while (false)
+#define WCDS_DCHECK_EQ(a, b, ...)                                           \
+  do {                                                                      \
+    if (false) WCDS_CHECK_EQ(a, b __VA_OPT__(, ) __VA_ARGS__);              \
+  } while (false)
+#define WCDS_DCHECK_NE(a, b, ...)                                           \
+  do {                                                                      \
+    if (false) WCDS_CHECK_NE(a, b __VA_OPT__(, ) __VA_ARGS__);              \
+  } while (false)
+#define WCDS_DCHECK_LT(a, b, ...)                                           \
+  do {                                                                      \
+    if (false) WCDS_CHECK_LT(a, b __VA_OPT__(, ) __VA_ARGS__);              \
+  } while (false)
+#define WCDS_DCHECK_LE(a, b, ...)                                           \
+  do {                                                                      \
+    if (false) WCDS_CHECK_LE(a, b __VA_OPT__(, ) __VA_ARGS__);              \
+  } while (false)
+#define WCDS_DCHECK_GT(a, b, ...)                                           \
+  do {                                                                      \
+    if (false) WCDS_CHECK_GT(a, b __VA_OPT__(, ) __VA_ARGS__);              \
+  } while (false)
+#define WCDS_DCHECK_GE(a, b, ...)                                           \
+  do {                                                                      \
+    if (false) WCDS_CHECK_GE(a, b __VA_OPT__(, ) __VA_ARGS__);              \
+  } while (false)
+#endif
+
+// --- API preconditions (fixed exception types) ------------------------------
+
+#define WCDS_REQUIRE(cond, ...)                                             \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::wcds::check::fail_argument(                                         \
+          #cond, __FILE__, __LINE__,                                        \
+          (::wcds::check::internal::MessageBuilder{} __VA_OPT__(<<)         \
+               __VA_ARGS__)                                                 \
+              .str());                                                      \
+    }                                                                       \
+  } while (false)
+
+#define WCDS_REQUIRE_BOUNDS(cond, ...)                                      \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::wcds::check::fail_bounds(                                           \
+          #cond, __FILE__, __LINE__,                                        \
+          (::wcds::check::internal::MessageBuilder{} __VA_OPT__(<<)         \
+               __VA_ARGS__)                                                 \
+              .str());                                                      \
+    }                                                                       \
+  } while (false)
+
+#define WCDS_REQUIRE_STATE(cond, ...)                                       \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::wcds::check::fail_state(                                            \
+          #cond, __FILE__, __LINE__,                                        \
+          (::wcds::check::internal::MessageBuilder{} __VA_OPT__(<<)         \
+               __VA_ARGS__)                                                 \
+              .str());                                                      \
+    }                                                                       \
+  } while (false)

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "check/check.h"
+
 namespace wcds::graph {
 
 std::vector<HopCount> bfs_distances(const Graph& g, NodeId source) {
@@ -14,6 +16,7 @@ std::vector<HopCount> multi_source_bfs(const Graph& g,
   std::vector<HopCount> dist(g.node_count(), kUnreachable);
   std::queue<NodeId> frontier;
   for (NodeId s : sources) {
+    WCDS_DCHECK_LT(s, g.node_count(), "multi_source_bfs: source out of range");
     if (dist[s] != 0) {
       dist[s] = 0;
       frontier.push(s);
@@ -33,6 +36,8 @@ std::vector<HopCount> multi_source_bfs(const Graph& g,
 }
 
 HopCount hop_distance(const Graph& g, NodeId source, NodeId target) {
+  WCDS_DCHECK_LT(source, g.node_count(), "hop_distance: source out of range");
+  WCDS_DCHECK_LT(target, g.node_count(), "hop_distance: target out of range");
   if (source == target) return 0;
   std::vector<HopCount> dist(g.node_count(), kUnreachable);
   std::queue<NodeId> frontier;

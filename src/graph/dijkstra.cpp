@@ -1,11 +1,10 @@
 #include "graph/dijkstra.h"
 
 #include <algorithm>
-#include <cassert>
 #include <queue>
-#include <stdexcept>
 #include <utility>
 
+#include "check/check.h"
 #include "graph/bfs.h"
 
 namespace wcds::graph {
@@ -13,9 +12,8 @@ namespace wcds::graph {
 std::vector<double> geometric_shortest_paths(const Graph& g,
                                              std::span<const geom::Point> points,
                                              NodeId source) {
-  if (points.size() != g.node_count()) {
-    throw std::invalid_argument("geometric_shortest_paths: size mismatch");
-  }
+  WCDS_REQUIRE(points.size() == g.node_count(),
+               "geometric_shortest_paths: size mismatch");
   std::vector<double> dist(g.node_count(), kInfiniteLength);
   using Entry = std::pair<double, NodeId>;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
@@ -38,9 +36,8 @@ std::vector<double> geometric_shortest_paths(const Graph& g,
 
 std::vector<double> max_length_of_min_hop_paths(
     const Graph& g, std::span<const geom::Point> points, NodeId source) {
-  if (points.size() != g.node_count()) {
-    throw std::invalid_argument("max_length_of_min_hop_paths: size mismatch");
-  }
+  WCDS_REQUIRE(points.size() == g.node_count(),
+               "max_length_of_min_hop_paths: size mismatch");
   const auto hops = bfs_distances(g, source);
   // Process nodes in increasing hop order; maxlen[v] = max over neighbors p
   // one layer closer of maxlen[p] + ||pv||.
@@ -63,7 +60,8 @@ std::vector<double> max_length_of_min_hop_paths(
         if (candidate > best) best = candidate;
       }
     }
-    assert(best >= 0.0 && "BFS layering guarantees a predecessor");
+    WCDS_DCHECK_GE(best, 0.0, "BFS layering guarantees a predecessor for "
+                                  << v);
     maxlen[v] = best;
   }
   return maxlen;

@@ -1,19 +1,18 @@
 #include "graph/graph.h"
 
 #include <algorithm>
-#include <cassert>
-#include <stdexcept>
+
+#include "check/check.h"
 
 namespace wcds::graph {
 
 Graph::Graph(std::vector<std::uint32_t> offsets, std::vector<NodeId> adjacency)
     : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
-  if (offsets_.empty()) {
-    throw std::invalid_argument("Graph: offsets must have n+1 entries");
-  }
-  if (offsets_.back() != adjacency_.size()) {
-    throw std::invalid_argument("Graph: offsets/adjacency size mismatch");
-  }
+  WCDS_REQUIRE(!offsets_.empty(), "Graph: offsets must have n+1 entries");
+  WCDS_REQUIRE(offsets_.back() == adjacency_.size(),
+               "Graph: offsets/adjacency size mismatch");
+  WCDS_DCHECK(std::is_sorted(offsets_.begin(), offsets_.end()),
+              "Graph: offsets must be non-decreasing");
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
@@ -45,10 +44,9 @@ std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
 }
 
 void GraphBuilder::add_edge(NodeId u, NodeId v) {
-  if (u == v) throw std::invalid_argument("GraphBuilder: self-loop");
-  if (u >= node_count_ || v >= node_count_) {
-    throw std::out_of_range("GraphBuilder: node id out of range");
-  }
+  WCDS_REQUIRE(u != v, "GraphBuilder: self-loop at node " << u);
+  WCDS_REQUIRE_BOUNDS(u < node_count_ && v < node_count_,
+                      "GraphBuilder: node id out of range");
   edges_.emplace_back(u, v);
 }
 

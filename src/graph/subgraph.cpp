@@ -1,13 +1,12 @@
 #include "graph/subgraph.h"
 
-#include <stdexcept>
+#include "check/check.h"
 
 namespace wcds::graph {
 
 Graph weakly_induced_subgraph(const Graph& g, const std::vector<bool>& members) {
-  if (members.size() != g.node_count()) {
-    throw std::invalid_argument("weakly_induced_subgraph: mask size mismatch");
-  }
+  WCDS_REQUIRE(members.size() == g.node_count(),
+               "weakly_induced_subgraph: mask size mismatch");
   GraphBuilder builder(g.node_count());
   for (NodeId u = 0; u < g.node_count(); ++u) {
     for (NodeId v : g.neighbors(u)) {
@@ -18,9 +17,8 @@ Graph weakly_induced_subgraph(const Graph& g, const std::vector<bool>& members) 
 }
 
 Graph induced_subgraph(const Graph& g, const std::vector<bool>& members) {
-  if (members.size() != g.node_count()) {
-    throw std::invalid_argument("induced_subgraph: mask size mismatch");
-  }
+  WCDS_REQUIRE(members.size() == g.node_count(),
+               "induced_subgraph: mask size mismatch");
   GraphBuilder builder(g.node_count());
   for (NodeId u = 0; u < g.node_count(); ++u) {
     if (!members[u]) continue;
@@ -35,9 +33,7 @@ std::vector<bool> make_mask(std::size_t node_count,
                             std::span<const NodeId> members) {
   std::vector<bool> mask(node_count, false);
   for (NodeId u : members) {
-    if (u >= node_count) {
-      throw std::out_of_range("make_mask: node id out of range");
-    }
+    WCDS_REQUIRE_BOUNDS(u < node_count, "make_mask: node id out of range");
     mask[u] = true;
   }
   return mask;

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <queue>
 #include <set>
-#include <stdexcept>
 
+#include "check/audit.h"
+#include "check/check.h"
 #include "graph/bfs.h"
 #include "graph/subgraph.h"
 #include "udg/udg.h"
+#include "wcds/wcds_result.h"
 
 namespace wcds::maintenance {
 namespace {
@@ -42,7 +44,7 @@ DynamicWcds::DynamicWcds(std::vector<geom::Point> points, double range)
     : points_(std::move(points)),
       active_(points_.size(), true),
       range_(range) {
-  if (range_ <= 0.0) throw std::invalid_argument("DynamicWcds: range <= 0");
+  WCDS_REQUIRE(range_ > 0.0, "DynamicWcds: range <= 0");
   rebuild_graph();
   mis_.assign(points_.size(), false);
   // Initial MIS: greedy lowest-ID-first (Algorithm II's ranking).
@@ -59,6 +61,7 @@ DynamicWcds::DynamicWcds(std::vector<geom::Point> points, double range)
     if (mis_[u]) all_mis.push_back(u);
   }
   rebridge(all_mis);
+  maybe_audit("construction");
 }
 
 void DynamicWcds::rebuild_graph() {
@@ -251,28 +254,64 @@ RepairReport DynamicWcds::repair(const std::vector<NodeId>& seeds,
 }
 
 RepairReport DynamicWcds::move_node(NodeId u, const geom::Point& destination) {
-  if (u >= points_.size()) throw std::out_of_range("move_node: bad id");
+  WCDS_REQUIRE_BOUNDS(u < points_.size(), "move_node: bad id " << u);
   const auto old_region = active_[u] ? three_hop_ball(u) : std::vector<NodeId>{u};
   points_[u] = destination;
   rebuild_graph();
-  return repair({u}, old_region);
+  const RepairReport report = repair({u}, old_region);
+  maybe_audit("move_node");
+  return report;
 }
 
 RepairReport DynamicWcds::deactivate(NodeId u) {
-  if (u >= points_.size()) throw std::out_of_range("deactivate: bad id");
+  WCDS_REQUIRE_BOUNDS(u < points_.size(), "deactivate: bad id " << u);
   if (!active_[u]) return {};
   const auto old_region = three_hop_ball(u);
   active_[u] = false;
   rebuild_graph();
-  return repair({u}, old_region);
+  const RepairReport report = repair({u}, old_region);
+  maybe_audit("deactivate");
+  return report;
 }
 
 RepairReport DynamicWcds::activate(NodeId u) {
-  if (u >= points_.size()) throw std::out_of_range("activate: bad id");
+  WCDS_REQUIRE_BOUNDS(u < points_.size(), "activate: bad id " << u);
   if (active_[u]) return {};
   active_[u] = true;
   rebuild_graph();
-  return repair({u}, {u});
+  const RepairReport report = repair({u}, {u});
+  maybe_audit("activate");
+  return report;
+}
+
+void DynamicWcds::maybe_audit(const char* event) const {
+  if (!check::audits_enabled()) return;
+  // Snapshot protocol state as a WcdsResult over the active UDG.
+  const std::size_t n = points_.size();
+  core::WcdsResult result;
+  result.mask.assign(n, false);
+  result.color.assign(n, core::NodeColor::kGray);
+  result.dominators = dominators();
+  for (NodeId u : result.dominators) {
+    result.mask[u] = true;
+    result.color[u] = core::NodeColor::kBlack;
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (mis_[u]) result.mis_dominators.push_back(u);
+  }
+  for (NodeId u : result.dominators) {
+    if (!mis_[u]) result.additional_dominators.push_back(u);
+  }
+  check::AuditOptions options;
+  options.unit_disk = true;  // the active graph is a UDG by construction
+  options.active = &active_;
+  check::audit_invariants(graph_, result, options);
+  // The maintenance-specific contract on top of the paper invariants: every
+  // 3-hop MIS pair holds a valid additional-dominator bridge.
+  const Audit state = audit();
+  WCDS_CHECK(state.bridges_complete,
+             "Section 4.2 (maintenance): unbridged 3-hop MIS pair after "
+                 << event);
 }
 
 Audit DynamicWcds::audit() const {

@@ -72,6 +72,10 @@ class DynamicWcds {
  private:
   // Rebuild the UDG over active nodes (inactive nodes are isolated).
   void rebuild_graph();
+  // Debug/test tripwire: runs check::audit_invariants (unit-disk bounds,
+  // active-node scope) plus the bridge-completeness audit after `event`.
+  // No-op unless check::audits_enabled().
+  void maybe_audit(const char* event) const;
   // Localized repair around `seeds`; `old_region` is the 3-hop ball of the
   // event site in the pre-event graph.
   RepairReport repair(const std::vector<NodeId>& seeds,

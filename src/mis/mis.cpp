@@ -3,15 +3,15 @@
 #include <algorithm>
 #include <cstdint>
 #include <queue>
-#include <stdexcept>
 #include <utility>
+
+#include "check/check.h"
 
 namespace wcds::mis {
 
 MisResult greedy_mis(const graph::Graph& g, std::span<const Rank> ranks) {
-  if (ranks.size() != g.node_count()) {
-    throw std::invalid_argument("greedy_mis: rank vector size mismatch");
-  }
+  WCDS_REQUIRE(ranks.size() == g.node_count(),
+               "greedy_mis: rank vector size mismatch");
   MisResult result;
   result.mask.assign(g.node_count(), false);
   std::vector<bool> removed(g.node_count(), false);
@@ -22,6 +22,8 @@ MisResult greedy_mis(const graph::Graph& g, std::span<const Rank> ranks) {
     removed[u] = true;
     for (NodeId v : g.neighbors(u)) removed[v] = true;
   }
+  WCDS_DCHECK(is_maximal_independent_set(g, result.mask),
+              "greedy_mis: construction is not a maximal independent set");
   return result;
 }
 

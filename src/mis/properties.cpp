@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <queue>
-#include <stdexcept>
 
+#include "check/check.h"
 #include "graph/bfs.h"
 
 namespace wcds::mis {
@@ -35,9 +35,8 @@ std::vector<HopCount> truncated_bfs(const graph::Graph& g, NodeId source,
 
 std::size_t max_mis_neighbors(const graph::Graph& g,
                               const std::vector<bool>& mis_mask) {
-  if (mis_mask.size() != g.node_count()) {
-    throw std::invalid_argument("max_mis_neighbors: mask size mismatch");
-  }
+  WCDS_REQUIRE(mis_mask.size() == g.node_count(),
+               "max_mis_neighbors: mask size mismatch");
   std::size_t worst = 0;
   for (NodeId u = 0; u < g.node_count(); ++u) {
     if (mis_mask[u]) continue;

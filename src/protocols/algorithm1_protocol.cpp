@@ -1,8 +1,9 @@
 #include "protocols/algorithm1_protocol.h"
 
 #include <algorithm>
-#include <stdexcept>
 
+#include "check/audit.h"
+#include "check/check.h"
 #include "graph/bfs.h"
 
 namespace wcds::protocols {
@@ -174,25 +175,22 @@ void Algorithm1Node::on_receive(sim::Context& ctx, const sim::Message& msg) {
       break;
     }
     default:
-      throw std::logic_error("Algorithm1Node: unknown message type");
+      WCDS_REQUIRE_STATE(false, "Algorithm1Node: unknown message type "
+                                    << msg.type);
   }
 }
 
 DistributedAlgorithm1Run run_algorithm1(const graph::Graph& g,
                                         const sim::DelayModel& delays) {
-  if (g.node_count() == 0) {
-    throw std::invalid_argument("run_algorithm1: empty graph");
-  }
-  if (!graph::is_connected(g)) {
-    throw std::invalid_argument("run_algorithm1: graph must be connected");
-  }
+  WCDS_REQUIRE(g.node_count() > 0, "run_algorithm1: empty graph");
+  WCDS_REQUIRE(graph::is_connected(g),
+               "run_algorithm1: graph must be connected");
   sim::Runtime runtime(
       g, [](NodeId) { return std::make_unique<Algorithm1Node>(); }, delays);
   DistributedAlgorithm1Run run;
   run.stats = runtime.run();
-  if (!run.stats.quiescent) {
-    throw std::logic_error("run_algorithm1: event budget exceeded");
-  }
+  WCDS_REQUIRE_STATE(run.stats.quiescent,
+                     "run_algorithm1: event budget exceeded");
 
   const std::size_t n = g.node_count();
   run.levels.resize(n);
@@ -210,6 +208,15 @@ DistributedAlgorithm1Run run_algorithm1(const graph::Graph& g,
     }
   }
   r.mis_dominators = r.dominators;
+
+  // Debug/test tripwire: the distributed run must land on the same
+  // level-ranked-MIS invariants as the centralized construction (Theorem 4
+  // included).
+  if (check::audits_enabled()) {
+    check::AuditOptions audit_options;
+    audit_options.level_ranked = true;
+    check::audit_invariants(g, r, audit_options);
+  }
   return run;
 }
 

@@ -1,8 +1,9 @@
 #include "protocols/algorithm2_protocol.h"
 
 #include <algorithm>
-#include <stdexcept>
 
+#include "check/audit.h"
+#include "check/check.h"
 #include "graph/bfs.h"
 
 namespace wcds::protocols {
@@ -190,25 +191,22 @@ void Algorithm2Node::on_receive(sim::Context& ctx, const sim::Message& msg) {
       break;
     }
     default:
-      throw std::logic_error("Algorithm2Node: unknown message type");
+      WCDS_REQUIRE_STATE(false, "Algorithm2Node: unknown message type "
+                                    << msg.type);
   }
 }
 
 DistributedWcdsRun run_algorithm2(const graph::Graph& g,
                                   const sim::DelayModel& delays) {
-  if (g.node_count() == 0) {
-    throw std::invalid_argument("run_algorithm2: empty graph");
-  }
-  if (!graph::is_connected(g)) {
-    throw std::invalid_argument("run_algorithm2: graph must be connected");
-  }
+  WCDS_REQUIRE(g.node_count() > 0, "run_algorithm2: empty graph");
+  WCDS_REQUIRE(graph::is_connected(g),
+               "run_algorithm2: graph must be connected");
   sim::Runtime runtime(
       g, [](NodeId) { return std::make_unique<Algorithm2Node>(); }, delays);
   DistributedWcdsRun run;
   run.stats = runtime.run();
-  if (!run.stats.quiescent) {
-    throw std::logic_error("run_algorithm2: event budget exceeded");
-  }
+  WCDS_REQUIRE_STATE(run.stats.quiescent,
+                     "run_algorithm2: event budget exceeded");
 
   const std::size_t n = g.node_count();
   core::WcdsResult& r = run.wcds;
@@ -228,6 +226,10 @@ DistributedWcdsRun run_algorithm2(const graph::Graph& g,
       r.color[u] = core::NodeColor::kBlack;
     }
   }
+
+  // Debug/test tripwire: the message-passing construction must satisfy the
+  // same Section 1-3 invariants as the centralized algorithm2.
+  if (check::audits_enabled()) check::audit_invariants(g, r);
   return run;
 }
 

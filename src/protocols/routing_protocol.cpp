@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <memory>
-#include <stdexcept>
+
+#include "check/check.h"
 
 namespace wcds::protocols {
 namespace {
@@ -44,9 +45,8 @@ class RoutingNode final : public sim::ProtocolNode {
   }
 
   void on_receive(sim::Context& ctx, const sim::Message& msg) override {
-    if (msg.type != kMsgData) {
-      throw std::logic_error("RoutingNode: unexpected message type");
-    }
+    WCDS_REQUIRE_STATE(msg.type == kMsgData,
+                       "RoutingNode: unexpected message type " << msg.type);
     const std::uint32_t flow = msg.payload[0];
     const NodeId dst = msg.payload[1];
     const std::uint32_t budget = msg.payload[2];
@@ -87,11 +87,11 @@ class RoutingNode final : public sim::ProtocolNode {
     }
     // Clusterhead: table lookup toward the destination's clusterhead.
     const NodeId dst_head = router_->clusterhead(dst);
-    if (dst_head == self_) {
-      // Destination is a member: it is adjacent, handled above.  Reaching
-      // here means the mapping is inconsistent.
-      throw std::logic_error("RoutingNode: member not adjacent to its head");
-    }
+    // Destination is a member: it is adjacent, handled above.  Reaching
+    // here means the clusterhead mapping is inconsistent.
+    WCDS_REQUIRE_STATE(dst_head != self_,
+                       "RoutingNode: member " << dst
+                                              << " not adjacent to its head");
     const NodeId next_head = router_->next_clusterhead(self_, dst_head);
     if (next_head == kInvalidNode) return;  // unreachable: drop
     auto leg = router_->overlay_leg(self_, next_head);
@@ -120,9 +120,8 @@ DataPlaneRun route_flows(const graph::Graph& g,
                          const std::vector<FlowRequest>& requests,
                          const sim::DelayModel& delays) {
   for (const FlowRequest& r : requests) {
-    if (r.src >= g.node_count() || r.dst >= g.node_count()) {
-      throw std::out_of_range("route_flows: src/dst out of range");
-    }
+    WCDS_REQUIRE_BOUNDS(r.src < g.node_count() && r.dst < g.node_count(),
+                        "route_flows: src/dst out of range");
   }
   const routing::ClusterheadRouter router(g, wcds);
   Recorder recorder;

@@ -1,7 +1,8 @@
 #include "sim/dynamic_runtime.h"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "check/check.h"
 
 namespace wcds::sim {
 
@@ -27,9 +28,8 @@ DynamicRuntime::DynamicRuntime(const graph::Graph& initial,
                                const NodeFactory& factory,
                                const DelayModel& delays)
     : delays_(delays), delay_rng_(delays.seed + 1) {
-  if (delays_.min_delay < 1 || delays_.max_delay < delays_.min_delay) {
-    throw std::invalid_argument("DynamicRuntime: invalid delay model");
-  }
+  WCDS_REQUIRE(delays_.min_delay >= 1 && delays_.max_delay >= delays_.min_delay,
+               "DynamicRuntime: invalid delay model");
   adjacency_.resize(initial.node_count());
   for (NodeId u = 0; u < initial.node_count(); ++u) {
     const auto row = initial.neighbors(u);
@@ -38,9 +38,8 @@ DynamicRuntime::DynamicRuntime(const graph::Graph& initial,
   nodes_.reserve(initial.node_count());
   for (NodeId u = 0; u < initial.node_count(); ++u) {
     nodes_.push_back(factory(u));
-    if (!nodes_.back()) {
-      throw std::invalid_argument("DynamicRuntime: factory returned null");
-    }
+    WCDS_REQUIRE(nodes_.back() != nullptr,
+                 "DynamicRuntime: factory returned null for " << u);
   }
 }
 
@@ -122,9 +121,8 @@ DynamicRunStats DynamicRuntime::run_to_quiescence(std::uint64_t max_events) {
 }
 
 void DynamicRuntime::apply_topology(const graph::Graph& next) {
-  if (next.node_count() != nodes_.size()) {
-    throw std::invalid_argument("apply_topology: node count mismatch");
-  }
+  WCDS_REQUIRE(next.node_count() == nodes_.size(),
+               "apply_topology: node count mismatch");
   // Diff old vs new adjacency per node; collect changed edges once (u < v).
   std::vector<std::pair<NodeId, NodeId>> downs;
   std::vector<std::pair<NodeId, NodeId>> ups;

@@ -1,6 +1,6 @@
 #include "sim/runtime.h"
 
-#include <stdexcept>
+#include "check/check.h"
 
 namespace wcds::sim {
 
@@ -22,15 +22,13 @@ void Context::unicast(NodeId dst, MessageType type,
 Runtime::Runtime(const graph::Graph& g, const NodeFactory& factory,
                  const DelayModel& delays)
     : graph_(g), delays_(delays), delay_rng_(delays.seed + 1) {
-  if (delays_.min_delay < 1 || delays_.max_delay < delays_.min_delay) {
-    throw std::invalid_argument("Runtime: invalid delay model");
-  }
+  WCDS_REQUIRE(delays_.min_delay >= 1 && delays_.max_delay >= delays_.min_delay,
+               "Runtime: invalid delay model");
   nodes_.reserve(g.node_count());
   for (NodeId u = 0; u < g.node_count(); ++u) {
     nodes_.push_back(factory(u));
-    if (!nodes_.back()) {
-      throw std::invalid_argument("Runtime: factory returned null node");
-    }
+    WCDS_REQUIRE(nodes_.back() != nullptr,
+                 "Runtime: factory returned null node for " << u);
   }
 }
 
@@ -67,9 +65,9 @@ void Runtime::send(NodeId src, SimTime now, NodeId dst, MessageType type,
       ++send_seq_;
     }
   } else {
-    if (!graph_.has_edge(src, dst)) {
-      throw std::logic_error("Runtime: unicast to a non-neighbor");
-    }
+    WCDS_REQUIRE_STATE(graph_.has_edge(src, dst),
+                       "Runtime: unicast " << src << " -> " << dst
+                                           << " to a non-neighbor");
     const SimTime at = schedule_delivery(src, dst, now);
     queue_.emplace(std::pair{at, send_seq_},
                    PendingDelivery{at, send_seq_, std::move(msg), dst});
@@ -78,7 +76,7 @@ void Runtime::send(NodeId src, SimTime now, NodeId dst, MessageType type,
 }
 
 RunStats Runtime::run(std::uint64_t max_events) {
-  if (ran_) throw std::logic_error("Runtime: run() called twice");
+  WCDS_REQUIRE_STATE(!ran_, "Runtime: run() called twice");
   ran_ = true;
   for (NodeId u = 0; u < nodes_.size(); ++u) {
     Context ctx(*this, u, 0);

@@ -1,8 +1,9 @@
 #include "wcds/algorithm1.h"
 
 #include <algorithm>
-#include <stdexcept>
 
+#include "check/audit.h"
+#include "check/check.h"
 #include "graph/bfs.h"
 #include "graph/spanning_tree.h"
 #include "mis/mis.h"
@@ -11,16 +12,10 @@
 namespace wcds::core {
 
 WcdsResult algorithm1(const graph::Graph& g, const Algorithm1Options& options) {
-  if (g.node_count() == 0) {
-    throw std::invalid_argument("algorithm1: empty graph");
-  }
-  if (!graph::is_connected(g)) {
-    throw std::invalid_argument("algorithm1: graph must be connected");
-  }
+  WCDS_REQUIRE(g.node_count() > 0, "algorithm1: empty graph");
+  WCDS_REQUIRE(graph::is_connected(g), "algorithm1: graph must be connected");
   const NodeId root = options.root == kInvalidNode ? 0 : options.root;
-  if (root >= g.node_count()) {
-    throw std::out_of_range("algorithm1: root out of range");
-  }
+  WCDS_REQUIRE_BOUNDS(root < g.node_count(), "algorithm1: root out of range");
 
   // Level Calculation Phase: levels are distances in the spanning tree
   // (BFS levels for the synchronous flood, tree depths for any other tree).
@@ -38,6 +33,14 @@ WcdsResult algorithm1(const graph::Graph& g, const Algorithm1Options& options) {
   result.mis_dominators = result.dominators;
   result.color.assign(g.node_count(), NodeColor::kGray);
   for (NodeId u : result.dominators) result.color[u] = NodeColor::kBlack;
+
+  // Debug/test tripwire: the (level, ID) ranking must yield Theorem 4's
+  // two-hop complementary-subset property on top of the MIS/WCDS invariants.
+  if (check::audits_enabled()) {
+    check::AuditOptions audit_options;
+    audit_options.level_ranked = true;
+    check::audit_invariants(g, result, audit_options);
+  }
   return result;
 }
 

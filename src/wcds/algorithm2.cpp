@@ -1,9 +1,10 @@
 #include "wcds/algorithm2.h"
 
 #include <algorithm>
-#include <stdexcept>
 #include <vector>
 
+#include "check/audit.h"
+#include "check/check.h"
 #include "graph/bfs.h"
 
 namespace wcds::core {
@@ -61,12 +62,8 @@ DominatorLists compute_dominator_lists(const graph::Graph& g,
 
 Algorithm2Output algorithm2(const graph::Graph& g,
                             const Algorithm2Options& options) {
-  if (g.node_count() == 0) {
-    throw std::invalid_argument("algorithm2: empty graph");
-  }
-  if (!graph::is_connected(g)) {
-    throw std::invalid_argument("algorithm2: graph must be connected");
-  }
+  WCDS_REQUIRE(g.node_count() > 0, "algorithm2: empty graph");
+  WCDS_REQUIRE(graph::is_connected(g), "algorithm2: graph must be connected");
 
   Algorithm2Output out;
   out.mis = mis::greedy_mis_by_id(g);
@@ -120,6 +117,11 @@ Algorithm2Output algorithm2(const graph::Graph& g,
         }
       }
       const Candidate& c = candidates[pick];
+      WCDS_DCHECK(g.has_edge(u, c.v) && g.has_edge(c.v, c.x) &&
+                      g.has_edge(c.x, c.w),
+                  "algorithm2: chosen bridge " << u << "-" << c.v << "-" << c.x
+                                               << "-" << c.w
+                                               << " is not a 3-hop path");
       additional[c.v] = true;
       out.lists.three_hop[u].push_back({c.w, c.v, c.x});
       // The ADDITIONAL-DOMINATOR confirmation gives w the reverse entry.
@@ -148,6 +150,10 @@ Algorithm2Output algorithm2(const graph::Graph& g,
       r.color[u] = NodeColor::kBlack;
     }
   }
+
+  // Debug/test tripwire: the ID-ranked MIS plus its bridge set must satisfy
+  // Lemma 3 and the Section 1 WCDS property.
+  if (check::audits_enabled()) check::audit_invariants(g, r);
   return out;
 }
 

@@ -1,0 +1,115 @@
+// The contract-macro layer: formatting, handler plumbing, REQUIRE exception
+// types, and the audit runtime switch.
+#include "check/check.h"
+
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace wcds::check {
+namespace {
+
+testing::AssertionResult MessageContains(const std::string& haystack,
+                                         const std::string& needle) {
+  if (haystack.find(needle) != std::string::npos) {
+    return testing::AssertionSuccess();
+  }
+  return testing::AssertionFailure()
+         << "expected \"" << haystack << "\" to contain \"" << needle << "\"";
+}
+
+TEST(CheckMacros, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(WCDS_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(WCDS_CHECK(true, "never shown " << 42));
+  EXPECT_NO_THROW(WCDS_CHECK_EQ(3, 3));
+  EXPECT_NO_THROW(WCDS_CHECK_LE(3, 4, "context"));
+  EXPECT_NO_THROW(WCDS_REQUIRE(true, "fine"));
+}
+
+TEST(CheckMacros, FailureThrowsCheckErrorWithLocationAndMessage) {
+  try {
+    WCDS_CHECK(2 + 2 == 5, "arithmetic slipped by " << 1);
+    FAIL() << "WCDS_CHECK did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_TRUE(MessageContains(what, "2 + 2 == 5"));
+    EXPECT_TRUE(MessageContains(what, "arithmetic slipped by 1"));
+    EXPECT_TRUE(MessageContains(what, "check_test.cpp"));
+  }
+}
+
+TEST(CheckMacros, ComparisonFormsFormatBothOperands) {
+  try {
+    const int lhs = 7;
+    const int rhs = 3;
+    WCDS_CHECK_LE(lhs, rhs, "budget exceeded");
+    FAIL() << "WCDS_CHECK_LE did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_TRUE(MessageContains(what, "lhs <= rhs"));
+    EXPECT_TRUE(MessageContains(what, "(7 vs 3)"));
+    EXPECT_TRUE(MessageContains(what, "budget exceeded"));
+  }
+}
+
+TEST(CheckMacros, CheckErrorIsALogicError) {
+  EXPECT_THROW(WCDS_CHECK(false), std::logic_error);
+}
+
+TEST(CheckMacros, RequireFamilyThrowsContractTypes) {
+  EXPECT_THROW(WCDS_REQUIRE(false, "bad argument"), std::invalid_argument);
+  EXPECT_THROW(WCDS_REQUIRE_BOUNDS(false, "bad index"), std::out_of_range);
+  EXPECT_THROW(WCDS_REQUIRE_STATE(false, "bad state"), std::logic_error);
+}
+
+TEST(CheckMacros, DchecksAreActiveInAuditBuilds) {
+  // The test suite always compiles with WCDS_AUDIT_INVARIANTS=ON.
+  static_assert(audits_compiled_in());
+  EXPECT_THROW(WCDS_DCHECK(false, "caught"), CheckError);
+  EXPECT_THROW(WCDS_DCHECK_EQ(1, 2), CheckError);
+}
+
+TEST(CheckHandler, CustomHandlerObservesFailureThenCheckStillThrows) {
+  static int calls = 0;
+  static std::string last_expression;
+  calls = 0;
+  const FailureHandler previous =
+      set_failure_handler(+[](const FailureContext& context) {
+        ++calls;
+        last_expression = context.expression;
+      });
+  // A handler that declines to terminate must not let execution continue.
+  EXPECT_THROW(WCDS_CHECK(false, "observed"), CheckError);
+  set_failure_handler(previous);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(last_expression, "false");
+  EXPECT_EQ(failure_handler(), previous);
+}
+
+TEST(CheckHandler, NullHandlerRestoresDefault) {
+  const FailureHandler previous = set_failure_handler(nullptr);
+  EXPECT_EQ(failure_handler(), &throw_handler);
+  EXPECT_THROW(WCDS_CHECK(false), CheckError);
+  set_failure_handler(previous);
+}
+
+TEST(CheckAudits, RuntimeSwitchRoundTrips) {
+  const bool was = audits_enabled();
+  EXPECT_EQ(set_audits_enabled(false), was);
+  EXPECT_FALSE(audits_enabled());
+  set_audits_enabled(true);
+  EXPECT_TRUE(audits_enabled());
+  set_audits_enabled(was);
+}
+
+TEST(CheckFormat, FormatFailureIsStable) {
+  const FailureContext context{"x > 0", "file.cpp", 12, "x was -1"};
+  EXPECT_EQ(format_failure(context),
+            "file.cpp:12: check failed: x > 0  x was -1");
+  const FailureContext bare{"ok()", "f.cpp", 3, ""};
+  EXPECT_EQ(format_failure(bare), "f.cpp:3: check failed: ok()");
+}
+
+}  // namespace
+}  // namespace wcds::check

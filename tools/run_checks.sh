@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Correctness-check driver: builds and tests the repo under each checking
+# configuration.
+#
+#   tools/run_checks.sh            # default + asan-ubsan + tidy
+#   tools/run_checks.sh default    # plain build + ctest (invariant audits on)
+#   tools/run_checks.sh asan       # AddressSanitizer + UBSan build + ctest
+#   tools/run_checks.sh tsan       # ThreadSanitizer build + ctest
+#   tools/run_checks.sh tidy       # clang-tidy gate (skipped if not installed)
+#
+# Every stage uses the CMake presets in CMakePresets.json, so CI and local
+# runs share one definition of each configuration.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+FAILURES=()
+
+banner() { printf '\n==== %s ====\n' "$*"; }
+
+run_preset() {
+  local preset="$1"
+  banner "configure [$preset]"
+  cmake --preset "$preset"
+  banner "build [$preset]"
+  cmake --build --preset "$preset" -j "$JOBS"
+}
+
+stage_default() {
+  run_preset default
+  banner "ctest [default]"
+  ctest --preset default -j "$JOBS"
+}
+
+stage_asan() {
+  run_preset asan-ubsan
+  banner "ctest [asan-ubsan]"
+  ctest --preset asan-ubsan -j "$JOBS"
+}
+
+stage_tsan() {
+  run_preset tsan
+  banner "ctest [tsan]"
+  ctest --preset tsan -j "$JOBS"
+}
+
+stage_tidy() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    banner "tidy SKIPPED: clang-tidy is not installed"
+    return 0
+  fi
+  # The tidy preset runs clang-tidy on every TU during the build; warnings
+  # are promoted to errors by .clang-tidy's WarningsAsErrors.
+  run_preset tidy
+}
+
+run_stage() {
+  local name="$1"
+  if "stage_$name"; then
+    banner "$name OK"
+  else
+    banner "$name FAILED"
+    FAILURES+=("$name")
+  fi
+}
+
+STAGES=("$@")
+if [ ${#STAGES[@]} -eq 0 ]; then
+  STAGES=(default asan tidy)
+fi
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    default|asan|tsan|tidy) run_stage "$stage" ;;
+    asan-ubsan) run_stage asan ;;
+    *)
+      echo "unknown stage: $stage (expected default|asan|tsan|tidy)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [ ${#FAILURES[@]} -ne 0 ]; then
+  banner "FAILED stages: ${FAILURES[*]}"
+  exit 1
+fi
+banner "all stages passed"
