@@ -29,9 +29,10 @@ void print_tables() {
       std::vector<double> s_sizes, c_sizes, u_sizes, edges, ratios;
       for (std::uint64_t seed = 1; seed <= 5; ++seed) {
         const auto inst = bench::connected_instance(600, deg, seed);
-        core::Algorithm2Options options;
+        core::BuildOptions options;
+        options.algorithm = core::BuildAlgorithm::kAlgorithm2Central;
         options.selection = policy;
-        const auto out = core::algorithm2(inst.g, options);
+        const auto out = core::build(inst.g, options);
         s_sizes.push_back(
             static_cast<double>(out.result.mis_dominators.size()));
         c_sizes.push_back(

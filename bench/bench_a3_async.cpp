@@ -39,10 +39,16 @@ void print_tables() {
       const auto delays = async
                               ? sim::DelayModel::uniform(1, 8, seed * 13 + 1)
                               : sim::DelayModel::unit();
-      const auto run1 = protocols::run_algorithm1(inst.g, delays);
-      const auto run2 = protocols::run_algorithm2(inst.g, delays);
-      u1.push_back(static_cast<double>(run1.wcds.size()));
-      u2.push_back(static_cast<double>(run2.wcds.size()));
+      core::BuildOptions options1;
+      options1.algorithm = core::BuildAlgorithm::kAlgorithm1Protocol;
+      options1.delays = delays;
+      const auto run1 = core::build(inst.g, options1);
+      core::BuildOptions options2;
+      options2.algorithm = core::BuildAlgorithm::kAlgorithm2Protocol;
+      options2.delays = delays;
+      const auto run2 = core::build(inst.g, options2);
+      u1.push_back(static_cast<double>(run1.result.size()));
+      u2.push_back(static_cast<double>(run2.result.size()));
       m1.push_back(static_cast<double>(run1.stats.transmissions));
       m2.push_back(static_cast<double>(run2.stats.transmissions));
       t1.push_back(static_cast<double>(run1.stats.completion_time));
@@ -50,11 +56,12 @@ void print_tables() {
       std::uint32_t depth = 0;
       for (const auto l : run1.levels) depth = std::max(depth, l);
       depth1.push_back(static_cast<double>(depth));
-      all_valid = all_valid && core::is_wcds(inst.g, run1.wcds.mask) &&
-                  core::is_wcds(inst.g, run2.wcds.mask);
-      const auto sync_mis = protocols::run_algorithm2(inst.g);
-      same_mis =
-          same_mis && run2.wcds.mis_dominators == sync_mis.wcds.mis_dominators;
+      all_valid = all_valid && core::is_wcds(inst.g, run1.result.mask) &&
+                  core::is_wcds(inst.g, run2.result.mask);
+      const auto sync_mis =
+          bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Protocol);
+      same_mis = same_mis &&
+                 run2.result.mis_dominators == sync_mis.result.mis_dominators;
     }
     const char* model = async ? "uniform(1,8)" : "unit";
     table.add_row({"alg1", model, bench::fmt(bench::summarize(u1).mean, 1),

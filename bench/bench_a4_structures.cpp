@@ -40,8 +40,11 @@ void print_tables() {
                         {"RNG", "yes", 0, 0, 0.0}};
   for (const double deg : {8.0, 24.0}) {
     const auto inst = bench::connected_instance(500, deg, 1);
-    const auto a1 = core::algorithm1(inst.g);
-    const auto out2 = core::algorithm2(inst.g);
+    const auto a1 =
+        bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm1Central)
+            .result;
+    const auto out2 =
+        bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central);
     const graph::Graph structures[] = {
         inst.g, core::extract_spanner(inst.g, a1),
         core::extract_spanner(inst.g, out2.result),
@@ -79,7 +82,9 @@ void print_tables() {
                               {"greedy geographic", "RNG"}};
   for (const double deg : {8.0, 20.0}) {
     const auto inst = bench::connected_instance(500, deg, 2);
-    const auto out2 = core::algorithm2(inst.g);
+    const auto out2 =
+        bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central)
+            .algorithm2_output();
     const routing::ClusterheadRouter router(inst.g, out2);
     const graph::Graph gg = spanner::gabriel_graph(inst.g, inst.points);
     const graph::Graph rng_g =

@@ -2,7 +2,10 @@
 //
 // Every bench binary prints its reproduction table(s) first — those rows are
 // what EXPERIMENTS.md records — then runs any registered google-benchmark
-// timings.
+// timings.  Passing --json_out=<path> additionally exports the tables plus
+// the run's metrics/phase-timing snapshot as a wcds-bench/v1 JSON document
+// (docs/OBSERVABILITY.md); without the flag no recorder is installed and the
+// instrumentation stays on its zero-cost null path.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -10,15 +13,20 @@
 #include <cstdint>
 #include <iostream>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "bench_support/report.h"
 #include "bench_support/stats.h"
 #include "bench_support/table.h"
 #include "check/check.h"
+#include "facade/build.h"
 #include "geom/point.h"
 #include "geom/workload.h"
 #include "graph/bfs.h"
 #include "graph/graph.h"
+#include "obs/recorder.h"
 #include "udg/udg.h"
 
 namespace wcds::bench {
@@ -62,20 +70,75 @@ inline Instance connected_instance_of(geom::WorkloadKind kind,
   throw std::runtime_error("connected_instance_of: density too low");
 }
 
-// Standard main body: reproduction tables first, then timings.  Invariant
-// audits are switched off so the timings measure the bare algorithms.
+// Run the unified construction facade in one mode with default options;
+// the reproduction tables go through here so phase timings and build
+// metrics land in the --json_out snapshot.
+inline core::BuildReport build_with(const graph::Graph& g,
+                                    core::BuildAlgorithm algorithm) {
+  core::BuildOptions options;
+  options.algorithm = algorithm;
+  return core::build(g, options);
+}
+
+// Strip a leading --json_out=<path> argument (any position) from argv so
+// google-benchmark never sees it; returns the path or "" when absent.
+inline std::string consume_json_out_flag(int& argc, char** argv) {
+  constexpr std::string_view kFlag = "--json_out=";
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind(kFlag, 0) == 0) {
+      path = std::string(arg.substr(kFlag.size()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
+// Executable basename, used as the "bench" field of the JSON document.
+inline std::string bench_name_from_argv0(const char* argv0) {
+  std::string_view name(argv0 == nullptr ? "bench" : argv0);
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string_view::npos) name.remove_prefix(slash + 1);
+  return std::string(name);
+}
+
+// Standard main body, shared by every bench binary via WCDS_BENCH_MAIN.
+// Reproduction tables print first (recording into report() and, when
+// --json_out is set, into an ambient recorder), then google-benchmark runs
+// any registered timings with the recorder uninstalled.
+inline int run_bench_main(int argc, char** argv, void (*print_tables_fn)()) {
+  check::set_audits_enabled(false);
+  const std::string json_out = consume_json_out_flag(argc, argv);
+  obs::Recorder recorder;
+  if (!json_out.empty()) obs::set_global_recorder(&recorder);
+  print_tables_fn();
+  if (!json_out.empty()) {
+    obs::set_global_recorder(nullptr);
+    try {
+      write_report_json(json_out, bench_name_from_argv0(argv[0]),
+                        recorder.snapshot());
+      std::cout << "\nwrote " << json_out << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
 // Usage:  WCDS_BENCH_MAIN(print_experiment_tables)
-#define WCDS_BENCH_MAIN(print_tables_fn)                         \
-  int main(int argc, char** argv) {                              \
-    ::wcds::check::set_audits_enabled(false);                    \
-    print_tables_fn();                                           \
-    ::benchmark::Initialize(&argc, argv);                        \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
-      return 1;                                                  \
-    }                                                            \
-    ::benchmark::RunSpecifiedBenchmarks();                       \
-    ::benchmark::Shutdown();                                     \
-    return 0;                                                    \
+#define WCDS_BENCH_MAIN(print_tables_fn)                        \
+  int main(int argc, char** argv) {                             \
+    return ::wcds::bench::run_bench_main(argc, argv,            \
+                                         &print_tables_fn);     \
   }
 
 }  // namespace wcds::bench

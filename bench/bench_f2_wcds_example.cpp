@@ -53,7 +53,8 @@ void print_tables() {
   for (const std::uint32_t n : {200u, 500u, 1000u}) {
     for (const double deg : {8.0, 16.0}) {
       const auto inst = bench::connected_instance(n, deg, 1);
-      const auto out = core::algorithm2(inst.g);
+      const auto out =
+          bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central);
       const auto spanner = core::extract_spanner(inst.g, out.result);
       rnd.add_row({std::to_string(n), bench::fmt(deg, 0),
                    bench::fmt_count(inst.g.edge_count()),

@@ -24,7 +24,8 @@ void print_tables() {
   for (const std::uint32_t n : {200u, 500u, 1000u}) {
     for (const double deg : {8.0, 16.0}) {
       const auto inst = bench::connected_instance(n, deg, 3);
-      const auto run = protocols::run_algorithm1(inst.g);
+      const auto run =
+          bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm1Protocol);
       const auto dist = graph::bfs_distances(inst.g, run.leader);
       bool match = true;
       double level_sum = 0.0;
@@ -43,7 +44,8 @@ void print_tables() {
 
   bench::banner(std::cout, "F6: level histogram (n = 500, deg = 10, seed 3)");
   const auto inst = bench::connected_instance(500, 10.0, 3);
-  const auto run = protocols::run_algorithm1(inst.g);
+  const auto run =
+      bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm1Protocol);
   HopCount depth = 0;
   for (const auto l : run.levels) depth = std::max(depth, l);
   std::vector<std::size_t> histogram(depth + 1, 0);

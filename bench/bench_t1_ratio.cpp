@@ -14,9 +14,8 @@
 #include "baselines/greedy_wcds.h"
 #include "baselines/mis_tree_cds.h"
 #include "bench_support/table.h"
+#include "facade/build.h"
 #include "mis/mis.h"
-#include "wcds/algorithm1.h"
-#include "wcds/algorithm2.h"
 
 namespace {
 
@@ -34,21 +33,24 @@ void print_tables() {
       const auto exact_w = baselines::exact_min_wcds(inst.g);
       const auto exact_c = baselines::exact_min_cds(inst.g);
       if (!exact_w || !exact_c || !exact_w->proven_optimal) continue;
-      const auto a1 = core::algorithm1(inst.g);
-      const auto a2 = core::algorithm2(inst.g);
+      const auto a1 =
+          bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm1Central)
+              .result;
+      const auto a2 =
+          bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central)
+              .result;
       const auto gw = baselines::greedy_wcds(inst.g);
       const auto gc = baselines::greedy_cds(inst.g);
       const auto mc = baselines::mis_tree_cds(inst.g);
       const double opt = static_cast<double>(exact_w->members.size());
       const double r1 = static_cast<double>(a1.size()) / opt;
-      const double r2 = static_cast<double>(a2.result.size()) / opt;
+      const double r2 = static_cast<double>(a2.size()) / opt;
       r1s.push_back(r1);
       r2s.push_back(r2);
       small.add_row({std::to_string(n), std::to_string(seed),
                      bench::fmt_count(exact_w->members.size()),
                      bench::fmt_count(exact_c->members.size()),
-                     bench::fmt_count(a1.size()),
-                     bench::fmt_count(a2.result.size()),
+                     bench::fmt_count(a1.size()), bench::fmt_count(a2.size()),
                      bench::fmt_count(gw.size()), bench::fmt_count(gc.size()),
                      bench::fmt_count(mc.size()), bench::fmt_ratio(r1),
                      bench::fmt_ratio(r2)});
@@ -69,8 +71,12 @@ void print_tables() {
   for (const std::uint32_t n : {300u, 1000u}) {
     for (const double deg : {8.0, 16.0, 32.0}) {
       const auto inst = bench::connected_instance(n, deg, 2);
-      const auto a1 = core::algorithm1(inst.g);
-      const auto a2 = core::algorithm2(inst.g);
+      const auto a1 =
+          bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm1Central)
+              .result;
+      const auto a2 =
+          bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central)
+              .result;
       const auto gw = baselines::greedy_wcds(inst.g);
       const auto gc = baselines::greedy_cds(inst.g);
       const auto mc = baselines::mis_tree_cds(inst.g);
@@ -78,12 +84,12 @@ void print_tables() {
       const auto lb = baselines::udg_mwcds_lower_bound(mis.size());
       large.add_row(
           {std::to_string(n), bench::fmt(deg, 0), bench::fmt_count(lb),
-           bench::fmt_count(a1.size()), bench::fmt_count(a2.result.size()),
+           bench::fmt_count(a1.size()), bench::fmt_count(a2.size()),
            bench::fmt_count(gw.size()), bench::fmt_count(gc.size()),
            bench::fmt_count(mc.size()),
            bench::fmt_ratio(static_cast<double>(a1.size()) /
                             static_cast<double>(lb)),
-           bench::fmt_ratio(static_cast<double>(a2.result.size()) /
+           bench::fmt_ratio(static_cast<double>(a2.size()) /
                             static_cast<double>(lb))});
     }
   }

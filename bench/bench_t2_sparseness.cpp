@@ -22,8 +22,11 @@ void print_tables() {
                      "Thm10 bound", "bound holds"});
   for (const std::uint32_t n : {250u, 500u, 1000u, 2000u, 4000u}) {
     const auto inst = bench::connected_instance(n, 16.0, 1);
-    const auto a1 = core::algorithm1(inst.g);
-    const auto out2 = core::algorithm2(inst.g);
+    const auto a1 =
+        bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm1Central)
+            .result;
+    const auto out2 =
+        bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central);
     const auto sp1 = core::extract_spanner(inst.g, a1);
     const auto sp2 = core::extract_spanner(inst.g, out2.result);
     const auto stats = spanner::sparseness(inst.g, sp2, out2.result);
@@ -43,7 +46,8 @@ void print_tables() {
                        "UDG E/spanner E"});
   for (const double deg : {6.0, 12.0, 24.0, 48.0}) {
     const auto inst = bench::connected_instance(1000, deg, 2);
-    const auto out2 = core::algorithm2(inst.g);
+    const auto out2 =
+        bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central);
     const auto sp2 = core::extract_spanner(inst.g, out2.result);
     by_deg.add_row(
         {bench::fmt(deg, 0), bench::fmt_count(inst.g.edge_count()),

@@ -23,8 +23,11 @@ void print_tables() {
   for (const std::uint32_t n : {300u, 600u}) {
     for (const double deg : {8.0, 16.0}) {
       const auto inst = bench::connected_instance(n, deg, 1);
-      const auto a1 = core::algorithm1(inst.g);
-      const auto out2 = core::algorithm2(inst.g);
+      const auto a1 =
+          bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm1Central)
+              .result;
+      const auto out2 =
+          bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central);
       const auto sp1 = core::extract_spanner(inst.g, a1);
       const auto sp2 = core::extract_spanner(inst.g, out2.result);
       const auto d1 = spanner::topological_dilation(inst.g, sp1);
@@ -48,7 +51,8 @@ void print_tables() {
   for (const std::uint32_t n : {300u, 600u}) {
     for (const double deg : {8.0, 16.0}) {
       const auto inst = bench::connected_instance(n, deg, 1);
-      const auto out2 = core::algorithm2(inst.g);
+      const auto out2 =
+          bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central);
       const auto sp2 = core::extract_spanner(inst.g, out2.result);
       const auto d = spanner::geometric_dilation(inst.g, sp2, inst.points, 60);
       geo.add_row({std::to_string(n), bench::fmt(deg, 0),
@@ -64,7 +68,8 @@ void print_tables() {
   bench::Table pct({"deg", "p50", "p90", "p99", "max"});
   for (const double deg : {8.0, 16.0}) {
     const auto inst = bench::connected_instance(600, deg, 1);
-    const auto out2 = core::algorithm2(inst.g);
+    const auto out2 =
+        bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central);
     const auto sp2 = core::extract_spanner(inst.g, out2.result);
     const auto dist = spanner::topological_stretch_distribution(inst.g, sp2);
     pct.add_row({bench::fmt(deg, 0), bench::fmt_ratio(dist.percentile(0.5)),

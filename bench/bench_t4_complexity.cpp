@@ -26,8 +26,10 @@ void print_tables() {
     const int kSeeds = 3;
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
       const auto inst = bench::connected_instance(n, 10.0, seed);
-      const auto run1 = protocols::run_algorithm1(inst.g);
-      const auto run2 = protocols::run_algorithm2(inst.g);
+      const auto run1 =
+          bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm1Protocol);
+      const auto run2 =
+          bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Protocol);
       m1 += static_cast<double>(run1.stats.transmissions) / kSeeds;
       m2 += static_cast<double>(run2.stats.transmissions) / kSeeds;
       t1 += static_cast<double>(run1.stats.completion_time) / kSeeds;
@@ -45,8 +47,10 @@ void print_tables() {
 
   bench::banner(std::cout, "T4b: per-message-type breakdown (n = 1000)");
   const auto inst = bench::connected_instance(1000, 10.0, 1);
-  const auto run1 = protocols::run_algorithm1(inst.g);
-  const auto run2 = protocols::run_algorithm2(inst.g);
+  const auto run1 =
+      bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm1Protocol);
+  const auto run2 =
+      bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Protocol);
   bench::Table breakdown({"algorithm", "message", "count"});
   for (const auto& [type, count] : run1.stats.per_type) {
     breakdown.add_row({"alg1", protocols::algorithm1_message_name(type),

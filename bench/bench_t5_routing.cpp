@@ -21,7 +21,9 @@ void print_tables() {
   for (const std::uint32_t n : {300u, 600u, 1200u}) {
     for (const double deg : {8.0, 16.0}) {
       const auto inst = bench::connected_instance(n, deg, 1);
-      const auto out = core::algorithm2(inst.g);
+      const auto out =
+          bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central)
+              .algorithm2_output();
       const routing::ClusterheadRouter router(inst.g, out);
       geom::Xoshiro256ss rng(42);
       std::size_t delivered = 0;

@@ -28,7 +28,8 @@ void print_tables() {
       const int kSeeds = 3;
       for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
         const auto inst = bench::connected_instance(n, deg, seed);
-        const auto backbone = core::algorithm2(inst.g);
+        const auto backbone =
+            bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central);
         auto relays = broadcast::relay_set(inst.g, backbone.result.mask);
         std::size_t relay_count = 0;
         for (NodeId u = 0; u < n; ++u) relay_count += relays[u];

@@ -14,8 +14,8 @@
 #include "broadcast/backbone_broadcast.h"
 #include "geom/workload.h"
 #include "graph/bfs.h"
+#include "facade/build.h"
 #include "udg/udg.h"
-#include "wcds/algorithm2.h"
 
 int main(int argc, char** argv) {
   using namespace wcds;
@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
     g = udg::build_udg(points);
   } while (!graph::is_connected(g));
 
-  const auto backbone = core::algorithm2(g);
+  core::BuildOptions build_options;
+  build_options.algorithm = core::BuildAlgorithm::kAlgorithm2Central;
+  const auto backbone = core::build(g, build_options);
   auto relays = broadcast::relay_set(g, backbone.result.mask);
   std::size_t relay_count = 0;
   for (NodeId u = 0; u < n; ++u) relay_count += relays[u];

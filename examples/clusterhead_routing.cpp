@@ -15,8 +15,8 @@
 #include "geom/workload.h"
 #include "graph/bfs.h"
 #include "routing/clusterhead_routing.h"
+#include "facade/build.h"
 #include "udg/udg.h"
-#include "wcds/algorithm2.h"
 
 int main(int argc, char** argv) {
   using namespace wcds;
@@ -34,7 +34,9 @@ int main(int argc, char** argv) {
     g = udg::build_udg(points);
   } while (!graph::is_connected(g));
 
-  const auto backbone = core::algorithm2(g);
+  core::BuildOptions build_options;
+  build_options.algorithm = core::BuildAlgorithm::kAlgorithm2Central;
+  const auto backbone = core::build(g, build_options).algorithm2_output();
   const routing::ClusterheadRouter router(g, backbone);
 
   std::cout << "network: " << n << " nodes; clusterheads: "

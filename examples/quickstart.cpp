@@ -6,13 +6,24 @@
 #include <iostream>
 #include <string>
 
+#include "facade/build.h"
 #include "geom/workload.h"
 #include "graph/bfs.h"
 #include "spanner/analysis.h"
 #include "udg/udg.h"
-#include "wcds/algorithm1.h"
-#include "wcds/algorithm2.h"
 #include "wcds/verify.h"
+
+namespace {
+
+// Run the unified facade in one mode (see docs/PROTOCOLS.md).
+wcds::core::BuildReport build_mode(const wcds::graph::Graph& g,
+                                   wcds::core::BuildAlgorithm algorithm) {
+  wcds::core::BuildOptions options;
+  options.algorithm = algorithm;
+  return wcds::core::build(g, options);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace wcds;
@@ -34,13 +45,13 @@ int main(int argc, char** argv) {
             << " UDG edges, avg degree " << g.average_degree() << "\n\n";
 
   // 2. Algorithm I: spanning-tree levels + level-ranked MIS (ratio 5).
-  const auto r1 = core::algorithm1(g);
+  const auto r1 = build_mode(g, core::BuildAlgorithm::kAlgorithm1Central).result;
   std::cout << "Algorithm I   WCDS size: " << r1.size()
             << "  (is WCDS: " << std::boolalpha << core::is_wcds(g, r1.mask)
             << ")\n";
 
   // 3. Algorithm II: ID-ranked MIS + 3-hop bridges (localized, O(n) msgs).
-  const auto out2 = core::algorithm2(g);
+  const auto out2 = build_mode(g, core::BuildAlgorithm::kAlgorithm2Central);
   std::cout << "Algorithm II  WCDS size: " << out2.result.size() << "  ("
             << out2.result.mis_dominators.size() << " MIS + "
             << out2.result.additional_dominators.size()

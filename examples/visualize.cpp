@@ -15,9 +15,8 @@
 #include "graph/bfs.h"
 #include "io/svg.h"
 #include "io/text_format.h"
+#include "facade/build.h"
 #include "udg/udg.h"
-#include "wcds/algorithm1.h"
-#include "wcds/algorithm2.h"
 
 int main(int argc, char** argv) {
   using namespace wcds;
@@ -36,10 +35,14 @@ int main(int argc, char** argv) {
 
   io::save_svg(prefix + "_udg.svg", points, g, core::WcdsResult{});
 
-  const auto r1 = core::algorithm1(g);
+  core::BuildOptions options1;
+  options1.algorithm = core::BuildAlgorithm::kAlgorithm1Central;
+  const auto r1 = core::build(g, options1).result;
   io::save_svg(prefix + "_alg1.svg", points, g, r1);
 
-  const auto out2 = core::algorithm2(g);
+  core::BuildOptions options2;
+  options2.algorithm = core::BuildAlgorithm::kAlgorithm2Central;
+  const auto out2 = core::build(g, options2);
   io::save_svg(prefix + "_alg2.svg", points, g, out2.result);
 
   io::save_points(prefix + "_points.txt", points);

@@ -1,0 +1,77 @@
+#include "bench_support/report.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace wcds::bench {
+
+Report::Section& Report::current_section() {
+  if (sections_.empty()) sections_.push_back(Section{});
+  return sections_.back();
+}
+
+void Report::begin_section(std::string title) {
+  Section section;
+  section.title = std::move(title);
+  sections_.push_back(std::move(section));
+}
+
+void Report::add_table(std::vector<std::string> headers,
+                       std::vector<std::vector<std::string>> rows) {
+  current_section().tables.push_back(
+      TableData{std::move(headers), std::move(rows)});
+}
+
+void Report::add_note(std::string text) {
+  current_section().notes.push_back(std::move(text));
+}
+
+obs::Json Report::to_json(std::string_view bench_name,
+                          const obs::MetricsSnapshot& metrics) const {
+  obs::Json doc = obs::Json::object();
+  doc["schema"] = "wcds-bench/v1";
+  doc["bench"] = bench_name;
+  obs::Json& sections = doc["sections"] = obs::Json::array();
+  for (const auto& section : sections_) {
+    obs::Json s = obs::Json::object();
+    s["title"] = section.title;
+    obs::Json& tables = s["tables"] = obs::Json::array();
+    for (const auto& table : section.tables) {
+      obs::Json t = obs::Json::object();
+      obs::Json& headers = t["headers"] = obs::Json::array();
+      for (const auto& header : table.headers) headers.push_back(header);
+      obs::Json& rows = t["rows"] = obs::Json::array();
+      for (const auto& row : table.rows) {
+        obs::Json cells = obs::Json::array();
+        for (const auto& cell : row) cells.push_back(cell);
+        rows.push_back(std::move(cells));
+      }
+      tables.push_back(std::move(t));
+    }
+    obs::Json& notes = s["notes"] = obs::Json::array();
+    for (const auto& note : section.notes) notes.push_back(note);
+    sections.push_back(std::move(s));
+  }
+  doc["metrics"] = obs::to_json(metrics);
+  return doc;
+}
+
+Report& report() {
+  static Report instance;
+  return instance;
+}
+
+void write_report_json(const std::string& path, std::string_view bench_name,
+                       const obs::MetricsSnapshot& metrics) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_report_json: cannot open " + path);
+  }
+  out << report().to_json(bench_name, metrics).dump(2) << "\n";
+  if (!out) {
+    throw std::runtime_error("write_report_json: write failed for " + path);
+  }
+}
+
+}  // namespace wcds::bench

@@ -1,0 +1,63 @@
+// Machine-readable mirror of a bench binary's reproduction tables.
+//
+// banner() opens a section and Table::print registers the printed rows, so
+// the process-global Report always holds exactly what went to stdout.  When
+// a bench runs with --json_out=<path>, the harness (bench/bench_common.h)
+// serializes the Report plus the run's metrics snapshot into the stable
+// wcds-bench/v1 JSON schema (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace wcds::bench {
+
+class Report {
+ public:
+  // Start a new section; subsequent tables attach to it.
+  void begin_section(std::string title);
+
+  // Register one printed table (called by Table::print).
+  void add_table(std::vector<std::string> headers,
+                 std::vector<std::vector<std::string>> rows);
+
+  // Free-form commentary attached to the current section.
+  void add_note(std::string text);
+
+  [[nodiscard]] bool empty() const { return sections_.empty(); }
+  void clear() { sections_.clear(); }
+
+  // Serialize as the wcds-bench/v1 document.
+  [[nodiscard]] obs::Json to_json(std::string_view bench_name,
+                                  const obs::MetricsSnapshot& metrics) const;
+
+ private:
+  struct TableData {
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+  struct Section {
+    std::string title;
+    std::vector<TableData> tables;
+    std::vector<std::string> notes;
+  };
+
+  // Tables printed before any banner land in an untitled section.
+  Section& current_section();
+
+  std::vector<Section> sections_;
+};
+
+// The process-global report every banner()/Table::print records into.
+[[nodiscard]] Report& report();
+
+// Serialize report() + `metrics` and write to `path`; throws
+// std::runtime_error if the file cannot be written.
+void write_report_json(const std::string& path, std::string_view bench_name,
+                       const obs::MetricsSnapshot& metrics);
+
+}  // namespace wcds::bench

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "bench_support/report.h"
+
 namespace wcds::bench {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
@@ -40,6 +42,9 @@ void Table::print(std::ostream& os) const {
   }
   os << std::string(total, '-') << '\n';
   for (const auto& row : rows_) print_row(row);
+  // Mirror the printed rows into the machine-readable report so a
+  // --json_out run exports exactly what went to stdout.
+  report().add_table(headers_, rows_);
 }
 
 std::string fmt(double value, int precision) {
@@ -54,6 +59,7 @@ std::string fmt_count(std::uint64_t value) { return std::to_string(value); }
 
 void banner(std::ostream& os, const std::string& title) {
   os << "\n== " << title << " ==\n";
+  report().begin_section(title);
 }
 
 }  // namespace wcds::bench

@@ -43,8 +43,10 @@ std::vector<NodeId> truncated_ball(const graph::Graph& g, NodeId center,
 DynamicWcds::DynamicWcds(std::vector<geom::Point> points, double range)
     : points_(std::move(points)),
       active_(points_.size(), true),
-      range_(range) {
+      range_(range),
+      recorder_(obs::global_recorder()) {
   WCDS_REQUIRE(range_ > 0.0, "DynamicWcds: range <= 0");
+  obs::PhaseTimer build_timer(recorder_, "maintenance/initial_build");
   rebuild_graph();
   mis_.assign(points_.size(), false);
   // Initial MIS: greedy lowest-ID-first (Algorithm II's ranking).
@@ -255,10 +257,13 @@ RepairReport DynamicWcds::repair(const std::vector<NodeId>& seeds,
 
 RepairReport DynamicWcds::move_node(NodeId u, const geom::Point& destination) {
   WCDS_REQUIRE_BOUNDS(u < points_.size(), "move_node: bad id " << u);
+  obs::PhaseTimer event_timer(recorder_, "maintenance/move_node");
   const auto old_region = active_[u] ? three_hop_ball(u) : std::vector<NodeId>{u};
   points_[u] = destination;
   rebuild_graph();
   const RepairReport report = repair({u}, old_region);
+  event_timer.stop();
+  record_event("move_node", report);
   maybe_audit("move_node");
   return report;
 }
@@ -266,10 +271,13 @@ RepairReport DynamicWcds::move_node(NodeId u, const geom::Point& destination) {
 RepairReport DynamicWcds::deactivate(NodeId u) {
   WCDS_REQUIRE_BOUNDS(u < points_.size(), "deactivate: bad id " << u);
   if (!active_[u]) return {};
+  obs::PhaseTimer event_timer(recorder_, "maintenance/deactivate");
   const auto old_region = three_hop_ball(u);
   active_[u] = false;
   rebuild_graph();
   const RepairReport report = repair({u}, old_region);
+  event_timer.stop();
+  record_event("deactivate", report);
   maybe_audit("deactivate");
   return report;
 }
@@ -277,11 +285,28 @@ RepairReport DynamicWcds::deactivate(NodeId u) {
 RepairReport DynamicWcds::activate(NodeId u) {
   WCDS_REQUIRE_BOUNDS(u < points_.size(), "activate: bad id " << u);
   if (active_[u]) return {};
+  obs::PhaseTimer event_timer(recorder_, "maintenance/activate");
   active_[u] = true;
   rebuild_graph();
   const RepairReport report = repair({u}, {u});
+  event_timer.stop();
+  record_event("activate", report);
   maybe_audit("activate");
   return report;
+}
+
+void DynamicWcds::record_event(const char* event,
+                               const RepairReport& report) const {
+  if (recorder_ == nullptr) return;
+  auto& metrics = recorder_->metrics();
+  metrics.add("maintenance/events");
+  metrics.add(std::string("maintenance/events/") + event);
+  metrics.add("maintenance/demoted", report.demoted);
+  metrics.add("maintenance/promoted", report.promoted);
+  metrics.add("maintenance/bridges_changed", report.bridges_changed);
+  // The 3-hop locality witness: region sizes stay flat as n grows.
+  metrics.observe("maintenance/region_size",
+                  static_cast<double>(report.region_size));
 }
 
 void DynamicWcds::maybe_audit(const char* event) const {

@@ -23,6 +23,7 @@
 #include "geom/point.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "obs/recorder.h"
 
 namespace wcds::maintenance {
 
@@ -55,6 +56,13 @@ class DynamicWcds {
   RepairReport deactivate(NodeId u);   // switch the radio off
   RepairReport activate(NodeId u);     // switch it back on (same position)
 
+  // Observability hook.  Defaults to the ambient obs::global_recorder() at
+  // construction time; null records nothing.  Every event then feeds its
+  // RepairReport (demotions/promotions/bridge churn, region-size histogram)
+  // and a wall-clock phase timing into the recorder.
+  void set_recorder(obs::Recorder* recorder) noexcept { recorder_ = recorder; }
+  [[nodiscard]] obs::Recorder* recorder() const noexcept { return recorder_; }
+
   // State inspection.
   [[nodiscard]] const graph::Graph& active_graph() const { return graph_; }
   [[nodiscard]] bool is_active(NodeId u) const { return active_[u]; }
@@ -80,6 +88,8 @@ class DynamicWcds {
   // event site in the pre-event graph.
   RepairReport repair(const std::vector<NodeId>& seeds,
                       std::vector<NodeId> old_region);
+  // Fold one event's RepairReport into the recorder (no-op when null).
+  void record_event(const char* event, const RepairReport& report) const;
   // Re-derive bridges for every 3-hop pair with an endpoint in `mis_nodes`.
   std::size_t rebridge(const std::vector<NodeId>& mis_nodes);
   [[nodiscard]] std::vector<NodeId> three_hop_ball(NodeId center) const;
@@ -93,6 +103,7 @@ class DynamicWcds {
   // (a, b) with a < b, both MIS and exactly 3 hops apart -> the additional
   // dominator bridging them (a neighbor of a on a 3-hop path to b).
   std::map<std::pair<NodeId, NodeId>, NodeId> bridges_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace wcds::maintenance

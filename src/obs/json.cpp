@@ -1,0 +1,395 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "check/check.h"
+
+namespace wcds::obs {
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void write_number(std::string& out, double value) {
+  // JSON has no NaN/Infinity; the exporter never produces them, but degrade
+  // to null rather than emit an unparsable token if one slips through.
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+  }
+  out += buf;
+}
+
+void write_newline(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::invalid_argument("Json::parse: " + std::string(what) +
+                                " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode (surrogate pairs are not produced by the writer;
+          // encode lone surrogates as-is rather than reject).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(token, &used);
+      if (used != token.size()) fail("bad number");
+      return Json(value);
+    } catch (const std::invalid_argument&) {
+      fail("bad number");
+    } catch (const std::out_of_range&) {
+      fail("number out of range");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+bool Json::is_bool() const { return std::holds_alternative<bool>(value_); }
+bool Json::is_number() const { return std::holds_alternative<double>(value_); }
+bool Json::is_string() const { return std::holds_alternative<std::string>(value_); }
+bool Json::is_array() const { return std::holds_alternative<Array>(value_); }
+bool Json::is_object() const { return std::holds_alternative<Object>(value_); }
+
+bool Json::as_bool() const {
+  WCDS_REQUIRE_STATE(is_bool(), "Json: not a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  WCDS_REQUIRE_STATE(is_number(), "Json: not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  WCDS_REQUIRE_STATE(is_string(), "Json: not a string");
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+  WCDS_REQUIRE_STATE(is_array(), "Json: not an array");
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+  WCDS_REQUIRE_STATE(is_object(), "Json: not an object");
+  return std::get<Object>(value_);
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (is_null()) value_ = Object{};
+  WCDS_REQUIRE_STATE(is_object(), "Json::operator[]: not an object");
+  auto& object = std::get<Object>(value_);
+  for (auto& [k, v] : object) {
+    if (k == key) return v;
+  }
+  object.emplace_back(std::string(key), Json());
+  return object.back().second;
+}
+
+const Json& Json::at(std::string_view key) const {
+  for (const auto& entry : as_object()) {
+    if (entry.first == key) return entry.second;
+  }
+  check::fail_bounds("Json::at", __FILE__, __LINE__,
+                     "no key " + std::string(key));
+}
+
+bool Json::contains(std::string_view key) const {
+  if (!is_object()) return false;
+  for (const auto& entry : as_object()) {
+    if (entry.first == key) return true;
+  }
+  return false;
+}
+
+void Json::push_back(Json value) {
+  if (is_null()) value_ = Array{};
+  WCDS_REQUIRE_STATE(is_array(), "Json::push_back: not an array");
+  std::get<Array>(value_).push_back(std::move(value));
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return std::get<Array>(value_).size();
+  WCDS_REQUIRE_STATE(is_object(), "Json::size: not a container");
+  return std::get<Object>(value_).size();
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(value_) ? "true" : "false";
+  } else if (is_number()) {
+    write_number(out, std::get<double>(value_));
+  } else if (is_string()) {
+    write_escaped(out, std::get<std::string>(value_));
+  } else if (is_array()) {
+    const auto& array = std::get<Array>(value_);
+    if (array.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    bool first = true;
+    for (const auto& element : array) {
+      if (!first) out.push_back(',');
+      first = false;
+      write_newline(out, indent, depth + 1);
+      element.write(out, indent, depth + 1);
+    }
+    write_newline(out, indent, depth);
+    out.push_back(']');
+  } else {
+    const auto& object = std::get<Object>(value_);
+    if (object.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [key, element] : object) {
+      if (!first) out.push_back(',');
+      first = false;
+      write_newline(out, indent, depth + 1);
+      write_escaped(out, key);
+      out += indent < 0 ? ":" : ": ";
+      element.write(out, indent, depth + 1);
+    }
+    write_newline(out, indent, depth);
+    out.push_back('}');
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+Json to_json(const HistogramSnapshot& histogram) {
+  Json j = Json::object();
+  j["count"] = histogram.count;
+  j["min"] = histogram.min;
+  j["max"] = histogram.max;
+  j["mean"] = histogram.mean;
+  j["p50"] = histogram.p50;
+  j["p95"] = histogram.p95;
+  return j;
+}
+
+Json to_json(const MetricsSnapshot& snapshot) {
+  Json j = Json::object();
+  Json& counters = j["counters"] = Json::object();
+  for (const auto& [name, value] : snapshot.counters) counters[name] = value;
+  Json& gauges = j["gauges"] = Json::object();
+  for (const auto& [name, value] : snapshot.gauges) gauges[name] = value;
+  Json& histograms = j["histograms"] = Json::object();
+  for (const auto& [name, value] : snapshot.histograms) {
+    histograms[name] = to_json(value);
+  }
+  return j;
+}
+
+}  // namespace wcds::obs

@@ -1,0 +1,92 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "check/check.h"
+
+namespace wcds::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_metric_creations{0};
+
+// Insert-or-find without materializing a std::string on the hot (existing
+// metric) path; counts every genuinely new entry for the guard test.
+template <typename Map, typename Default>
+typename Map::mapped_type& intern(Map& map, std::string_view name,
+                                  Default&& initial) {
+  auto it = map.lower_bound(name);
+  if (it == map.end() || it->first != name) {
+    it = map.emplace_hint(it, std::string(name),
+                          std::forward<Default>(initial));
+    g_metric_creations.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void MetricsRegistry::add(std::string_view counter, std::uint64_t delta) {
+  intern(counters_, counter, std::uint64_t{0}) += delta;
+}
+
+void MetricsRegistry::set(std::string_view gauge, double value) {
+  intern(gauges_, gauge, 0.0) = value;
+}
+
+void MetricsRegistry::set_max(std::string_view gauge, double value) {
+  double& slot = intern(gauges_, gauge, value);
+  slot = std::max(slot, value);
+}
+
+void MetricsRegistry::observe(std::string_view histogram, double value) {
+  intern(histograms_, histogram, std::vector<double>{}).push_back(value);
+}
+
+double nearest_rank_quantile(const std::vector<double>& sorted, double q) {
+  WCDS_REQUIRE(!sorted.empty(), "nearest_rank_quantile: empty sample set");
+  WCDS_REQUIRE(q > 0.0 && q <= 1.0, "nearest_rank_quantile: q = " << q);
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;
+  return sorted[rank - 1];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.insert(counters_.begin(), counters_.end());
+  snap.gauges.insert(gauges_.begin(), gauges_.end());
+  for (const auto& [name, samples] : histograms_) {
+    if (samples.empty()) continue;
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    HistogramSnapshot h;
+    h.count = sorted.size();
+    h.min = sorted.front();
+    h.max = sorted.back();
+    double sum = 0.0;
+    for (const double v : sorted) sum += v;
+    h.mean = sum / static_cast<double>(sorted.size());
+    h.p50 = nearest_rank_quantile(sorted, 0.50);
+    h.p95 = nearest_rank_quantile(sorted, 0.95);
+    snap.histograms.emplace(name, h);
+  }
+  return snap;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+bool MetricsRegistry::empty() const {
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+std::uint64_t MetricsRegistry::metric_creations() noexcept {
+  return g_metric_creations.load(std::memory_order_relaxed);
+}
+
+}  // namespace wcds::obs

@@ -1,0 +1,85 @@
+// Observability metrics: named counters, gauges and histograms collected
+// during a run and exported as one stable JSON document (see obs/json.h and
+// docs/OBSERVABILITY.md).
+//
+// The registry is deliberately simple — a run records into it, a snapshot is
+// taken at the end, and the snapshot is serialized.  Histograms keep raw
+// samples and compute nearest-rank quantiles (p50/p95) at snapshot time,
+// which is exact and cheap at the sample counts a bench run produces.
+//
+// Instrumented hot paths hold an `obs::Recorder*` that is null by default;
+// every record call sits behind that null check, so an un-instrumented run
+// pays one predicted branch and allocates no metric state at all (the
+// zero-allocation guard test in tests/obs_test.cpp pins this down via
+// `MetricsRegistry::metric_creations()`).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wcds::obs {
+
+// Point-in-time summary of one histogram (nearest-rank quantiles).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+// Point-in-time copy of every metric in a registry.  Ordered maps give the
+// JSON exporter a stable key order.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+class MetricsRegistry {
+ public:
+  // Counter: monotone accumulator.
+  void add(std::string_view counter, std::uint64_t delta = 1);
+
+  // Gauge: last-write-wins sample of a level.
+  void set(std::string_view gauge, double value);
+
+  // Gauge variant keeping the high-water mark (e.g. peak queue depth).
+  void set_max(std::string_view gauge, double value);
+
+  // Histogram: record one observation.
+  void observe(std::string_view histogram, double value);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  void clear();
+  [[nodiscard]] bool empty() const;
+
+  // Total number of metric entries ever interned across all registries in
+  // this process.  A hot path guarded by a null recorder must leave this
+  // unchanged — the guard test's witness that "null recorder" really means
+  // "no metric allocations".
+  [[nodiscard]] static std::uint64_t metric_creations() noexcept;
+
+ private:
+  // std::less<> enables heterogeneous string_view lookup: recording into an
+  // existing metric never materializes a std::string.
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, std::vector<double>, std::less<>> histograms_;
+};
+
+// Nearest-rank quantile of `sorted` (ascending): the ceil(q*n)-th smallest
+// value.  Exposed for the quantile unit tests.
+[[nodiscard]] double nearest_rank_quantile(const std::vector<double>& sorted,
+                                           double q);
+
+}  // namespace wcds::obs

@@ -1,0 +1,36 @@
+#include "obs/recorder.h"
+
+namespace wcds::obs {
+namespace {
+
+Recorder* g_recorder = nullptr;
+
+}  // namespace
+
+Recorder* global_recorder() noexcept { return g_recorder; }
+
+Recorder* set_global_recorder(Recorder* recorder) noexcept {
+  Recorder* previous = g_recorder;
+  g_recorder = recorder;
+  return previous;
+}
+
+PhaseTimer::PhaseTimer(Recorder* recorder, std::string_view name)
+    : recorder_(recorder) {
+  if (recorder_ == nullptr) return;
+  metric_.reserve(std::string_view("phase_ms/").size() + name.size());
+  metric_.append("phase_ms/");
+  metric_.append(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+void PhaseTimer::stop() {
+  if (recorder_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const double ms =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  recorder_->metrics().observe(metric_, ms);
+  recorder_ = nullptr;
+}
+
+}  // namespace wcds::obs

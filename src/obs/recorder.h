@@ -1,0 +1,70 @@
+// Recorder: the handle instrumented layers share.
+//
+// A Recorder bundles a MetricsRegistry with an optional TraceSink.  Every
+// instrumented call site takes an `obs::Recorder*` that defaults to null;
+// null means "record nothing" and costs one branch.  The process-global
+// recorder is a convenience for layers that cannot thread the pointer
+// explicitly (the bench harness installs one when `--json_out=` is given,
+// so phase timings flow into the exported JSON without touching each
+// binary).
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wcds::obs {
+
+class Recorder {
+ public:
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  void set_trace_sink(TraceSink* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] TraceSink* trace_sink() const noexcept { return sink_; }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const { return metrics_.snapshot(); }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceSink* sink_ = nullptr;
+};
+
+// Process-global recorder; null (the default) disables ambient recording.
+// Not thread-safe against concurrent swaps — install at quiescent points
+// (program start, bench harness setup).
+[[nodiscard]] Recorder* global_recorder() noexcept;
+Recorder* set_global_recorder(Recorder* recorder) noexcept;  // returns old
+
+// Resolve an explicit per-call recorder against the ambient one.
+[[nodiscard]] inline Recorder* recorder_or_global(Recorder* recorder) noexcept {
+  return recorder != nullptr ? recorder : global_recorder();
+}
+
+// RAII wall-clock phase scope (steady clock).  Records one observation into
+// the histogram `phase_ms/<name>` on destruction (or explicit stop()).
+// Nestable; a null recorder makes construction and destruction no-ops that
+// allocate nothing.
+class PhaseTimer {
+ public:
+  PhaseTimer(Recorder* recorder, std::string_view name);
+  ~PhaseTimer() { stop(); }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  // Record now instead of at scope exit; idempotent.
+  void stop();
+
+ private:
+  Recorder* recorder_;
+  std::string metric_;  // only built when recorder_ != nullptr
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace wcds::obs

@@ -1,0 +1,51 @@
+// Message-level trace events emitted by the sim runtime.
+//
+// The sink interface is deliberately free of sim types (plain integers for
+// node ids, times and message types) so obs stays below sim in the layer
+// graph: sim depends on obs, never the reverse.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wcds::obs {
+
+// Sentinel destination mirroring sim::kBroadcastDst.
+inline constexpr std::uint32_t kTraceBroadcastDst = 0xFFFFFFFFu;
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kSend,     // one radio transmission (unicast or local broadcast)
+    kDeliver,  // one per-recipient copy handed to a protocol node
+  };
+
+  Kind kind = Kind::kSend;
+  std::uint64_t time = 0;          // sim time of the event
+  std::uint32_t src = 0;           // transmitting node
+  std::uint32_t dst = 0;           // recipient, or kTraceBroadcastDst
+  std::uint16_t message_type = 0;  // protocol-defined sim::MessageType
+  std::uint64_t queue_depth = 0;   // pending deliveries after the event
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+};
+
+// In-memory sink for tests and post-run analysis.
+class MemoryTraceSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent& event) override { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace wcds::obs

@@ -181,16 +181,24 @@ void Algorithm1Node::on_receive(sim::Context& ctx, const sim::Message& msg) {
 }
 
 DistributedAlgorithm1Run run_algorithm1(const graph::Graph& g,
-                                        const sim::DelayModel& delays) {
+                                        const sim::DelayModel& delays,
+                                        obs::Recorder* recorder) {
   WCDS_REQUIRE(g.node_count() > 0, "run_algorithm1: empty graph");
   WCDS_REQUIRE(graph::is_connected(g),
                "run_algorithm1: graph must be connected");
+  obs::Recorder* rec = obs::recorder_or_global(recorder);
+  obs::PhaseTimer total_timer(rec, "alg1/total");
   sim::Runtime runtime(
-      g, [](NodeId) { return std::make_unique<Algorithm1Node>(); }, delays);
+      g, [](NodeId) { return std::make_unique<Algorithm1Node>(); }, delays,
+      rec);
   DistributedAlgorithm1Run run;
-  run.stats = runtime.run();
+  {
+    obs::PhaseTimer run_timer(rec, "alg1/protocol_run");
+    run.stats = runtime.run();
+  }
   WCDS_REQUIRE_STATE(run.stats.quiescent,
                      "run_algorithm1: event budget exceeded");
+  obs::PhaseTimer extract_timer(rec, "alg1/extract");
 
   const std::size_t n = g.node_count();
   run.levels.resize(n);
@@ -208,6 +216,17 @@ DistributedAlgorithm1Run run_algorithm1(const graph::Graph& g,
     }
   }
   r.mis_dominators = r.dominators;
+  extract_timer.stop();
+
+  if (rec != nullptr) {
+    auto& metrics = rec->metrics();
+    metrics.add("alg1/runs");
+    metrics.observe("alg1/transmissions",
+                    static_cast<double>(run.stats.transmissions));
+    metrics.observe("alg1/completion_time",
+                    static_cast<double>(run.stats.completion_time));
+    metrics.observe("alg1/wcds_size", static_cast<double>(r.size()));
+  }
 
   // Debug/test tripwire: the distributed run must land on the same
   // level-ranked-MIS invariants as the centralized construction (Theorem 4

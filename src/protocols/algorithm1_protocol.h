@@ -28,6 +28,7 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "obs/recorder.h"
 #include "sim/message.h"
 #include "sim/runtime.h"
 #include "wcds/wcds_result.h"
@@ -108,7 +109,14 @@ struct DistributedAlgorithm1Run {
 // rather than a BFS tree — exactly the generality the paper claims
 // (Section 2.2: "first we build an arbitrary spanning tree"); Theorems 4/5
 // still hold because levels remain tree distances.
+//
+// `recorder` (explicit, else the ambient obs::global_recorder(), else none)
+// receives wall-clock phase timings, the sim's message metrics and the
+// resulting |WCDS|.  Application code should prefer the wcds::core::build()
+// facade (src/facade/build.h); calling this directly is deprecated outside
+// the protocol layer itself.
 [[nodiscard]] DistributedAlgorithm1Run run_algorithm1(
-    const graph::Graph& g, const sim::DelayModel& delays = sim::DelayModel::unit());
+    const graph::Graph& g, const sim::DelayModel& delays = sim::DelayModel::unit(),
+    obs::Recorder* recorder = nullptr);
 
 }  // namespace wcds::protocols

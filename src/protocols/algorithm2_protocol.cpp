@@ -197,16 +197,24 @@ void Algorithm2Node::on_receive(sim::Context& ctx, const sim::Message& msg) {
 }
 
 DistributedWcdsRun run_algorithm2(const graph::Graph& g,
-                                  const sim::DelayModel& delays) {
+                                  const sim::DelayModel& delays,
+                                  obs::Recorder* recorder) {
   WCDS_REQUIRE(g.node_count() > 0, "run_algorithm2: empty graph");
   WCDS_REQUIRE(graph::is_connected(g),
                "run_algorithm2: graph must be connected");
+  obs::Recorder* rec = obs::recorder_or_global(recorder);
+  obs::PhaseTimer total_timer(rec, "alg2/total");
   sim::Runtime runtime(
-      g, [](NodeId) { return std::make_unique<Algorithm2Node>(); }, delays);
+      g, [](NodeId) { return std::make_unique<Algorithm2Node>(); }, delays,
+      rec);
   DistributedWcdsRun run;
-  run.stats = runtime.run();
+  {
+    obs::PhaseTimer run_timer(rec, "alg2/protocol_run");
+    run.stats = runtime.run();
+  }
   WCDS_REQUIRE_STATE(run.stats.quiescent,
                      "run_algorithm2: event budget exceeded");
+  obs::PhaseTimer extract_timer(rec, "alg2/extract");
 
   const std::size_t n = g.node_count();
   core::WcdsResult& r = run.wcds;
@@ -225,6 +233,22 @@ DistributedWcdsRun run_algorithm2(const graph::Graph& g,
       r.dominators.push_back(u);
       r.color[u] = core::NodeColor::kBlack;
     }
+  }
+
+  extract_timer.stop();
+
+  if (rec != nullptr) {
+    auto& metrics = rec->metrics();
+    metrics.add("alg2/runs");
+    metrics.observe("alg2/transmissions",
+                    static_cast<double>(run.stats.transmissions));
+    metrics.observe("alg2/completion_time",
+                    static_cast<double>(run.stats.completion_time));
+    metrics.observe("alg2/wcds_size", static_cast<double>(r.size()));
+    metrics.observe("alg2/mis_size",
+                    static_cast<double>(r.mis_dominators.size()));
+    metrics.observe("alg2/additional_size",
+                    static_cast<double>(r.additional_dominators.size()));
   }
 
   // Debug/test tripwire: the message-passing construction must satisfy the

@@ -35,6 +35,7 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "obs/recorder.h"
 #include "sim/message.h"
 #include "sim/runtime.h"
 #include "wcds/algorithm2.h"
@@ -111,7 +112,14 @@ struct DistributedWcdsRun {
 // The protocol is event-driven: under an asynchronous delay model it yields
 // the same MIS (the rule's fixpoint is timing-independent) and a possibly
 // different — but still valid — additional-dominator set.
+//
+// `recorder` (explicit, else the ambient obs::global_recorder(), else none)
+// receives wall-clock phase timings, the sim's message metrics and the
+// resulting |WCDS|.  Application code should prefer the wcds::core::build()
+// facade (src/facade/build.h); calling this directly is deprecated outside
+// the protocol layer itself.
 [[nodiscard]] DistributedWcdsRun run_algorithm2(
-    const graph::Graph& g, const sim::DelayModel& delays = sim::DelayModel::unit());
+    const graph::Graph& g, const sim::DelayModel& delays = sim::DelayModel::unit(),
+    obs::Recorder* recorder = nullptr);
 
 }  // namespace wcds::protocols

@@ -1,5 +1,8 @@
 #include "sim/runtime.h"
 
+#include <algorithm>
+#include <string>
+
 #include "check/check.h"
 
 namespace wcds::sim {
@@ -20,8 +23,9 @@ void Context::unicast(NodeId dst, MessageType type,
 }
 
 Runtime::Runtime(const graph::Graph& g, const NodeFactory& factory,
-                 const DelayModel& delays)
-    : graph_(g), delays_(delays), delay_rng_(delays.seed + 1) {
+                 const DelayModel& delays, obs::Recorder* recorder)
+    : graph_(g), delays_(delays), delay_rng_(delays.seed + 1),
+      recorder_(recorder) {
   WCDS_REQUIRE(delays_.min_delay >= 1 && delays_.max_delay >= delays_.min_delay,
                "Runtime: invalid delay model");
   nodes_.reserve(g.node_count());
@@ -64,14 +68,56 @@ void Runtime::send(NodeId src, SimTime now, NodeId dst, MessageType type,
                      PendingDelivery{at, send_seq_, msg, v});
       ++send_seq_;
     }
+    if (recorder_ != nullptr) [[unlikely]] record_send(msg, now);
   } else {
     WCDS_REQUIRE_STATE(graph_.has_edge(src, dst),
                        "Runtime: unicast " << src << " -> " << dst
                                            << " to a non-neighbor");
     const SimTime at = schedule_delivery(src, dst, now);
+    if (recorder_ != nullptr) [[unlikely]] record_send(msg, now);
     queue_.emplace(std::pair{at, send_seq_},
                    PendingDelivery{at, send_seq_, std::move(msg), dst});
     ++send_seq_;
+  }
+}
+
+void Runtime::record_send(const Message& msg, SimTime now) {
+  max_queue_depth_ = std::max<std::uint64_t>(max_queue_depth_, queue_.size());
+  if (obs::TraceSink* sink = recorder_->trace_sink()) {
+    obs::TraceEvent event;
+    event.kind = obs::TraceEvent::Kind::kSend;
+    event.time = now;
+    event.src = msg.src;
+    event.dst = msg.dst == kBroadcastDst ? obs::kTraceBroadcastDst : msg.dst;
+    event.message_type = msg.type;
+    event.queue_depth = queue_.size();
+    sink->on_event(event);
+  }
+}
+
+void Runtime::record_deliver(const PendingDelivery& delivery) {
+  if (obs::TraceSink* sink = recorder_->trace_sink()) {
+    obs::TraceEvent event;
+    event.kind = obs::TraceEvent::Kind::kDeliver;
+    event.time = delivery.time;
+    event.src = delivery.message.src;
+    event.dst = delivery.recipient;
+    event.message_type = delivery.message.type;
+    event.queue_depth = queue_.size();
+    sink->on_event(event);
+  }
+}
+
+void Runtime::record_run_stats() {
+  auto& metrics = recorder_->metrics();
+  metrics.add("sim/transmissions", stats_.transmissions);
+  metrics.add("sim/deliveries", stats_.deliveries);
+  metrics.set_max("sim/completion_time",
+                  static_cast<double>(stats_.completion_time));
+  metrics.set_max("sim/max_queue_depth",
+                  static_cast<double>(max_queue_depth_));
+  for (const auto& [type, count] : stats_.per_type) {
+    metrics.add("sim/msg_type/" + std::to_string(type), count);
   }
 }
 
@@ -93,10 +139,12 @@ RunStats Runtime::run(std::uint64_t max_events) {
     queue_.erase(first);
     ++stats_.deliveries;
     stats_.completion_time = delivery.time;
+    if (recorder_ != nullptr) [[unlikely]] record_deliver(delivery);
     Context ctx(*this, delivery.recipient, delivery.time);
     nodes_[delivery.recipient]->on_receive(ctx, delivery.message);
   }
   stats_.quiescent = true;
+  if (recorder_ != nullptr) record_run_stats();
   return stats_;
 }
 

@@ -30,6 +30,7 @@
 #include "geom/rng.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "obs/recorder.h"
 #include "sim/message.h"
 
 namespace wcds::sim {
@@ -101,7 +102,18 @@ class Runtime {
   using NodeFactory = std::function<std::unique_ptr<ProtocolNode>(NodeId)>;
 
   Runtime(const graph::Graph& g, const NodeFactory& factory,
-          const DelayModel& delays = DelayModel::unit());
+          const DelayModel& delays = DelayModel::unit(),
+          obs::Recorder* recorder = nullptr);
+
+  // Observability hook.  Null (the default) records nothing and keeps the
+  // hot path at a single predicted branch per event, so benchmark timings
+  // stay honest; non-null feeds message-level TraceEvents (send/deliver
+  // with queue depth) to the recorder's sink and folds the terminal
+  // RunStats into its metrics after run().  Install before run().
+  void set_recorder(obs::Recorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  [[nodiscard]] obs::Recorder* recorder() const noexcept { return recorder_; }
 
   // Run until quiescence.  `max_events` guards against protocol bugs.
   RunStats run(std::uint64_t max_events = 100'000'000);
@@ -124,6 +136,11 @@ class Runtime {
   void send(NodeId src, SimTime now, NodeId dst, MessageType type,
             std::vector<std::uint32_t> payload);
 
+  // Recording slow paths, only reached with a non-null recorder.
+  void record_send(const Message& msg, SimTime now);
+  void record_deliver(const PendingDelivery& delivery);
+  void record_run_stats();
+
   // Delivery time for one copy, honoring the delay model and per-link FIFO.
   [[nodiscard]] SimTime schedule_delivery(NodeId src, NodeId recipient,
                                           SimTime now);
@@ -140,6 +157,8 @@ class Runtime {
   geom::Xoshiro256ss delay_rng_;
   // Last scheduled delivery per (src, recipient) link, for FIFO enforcement.
   std::unordered_map<std::uint64_t, SimTime> link_clock_;
+  obs::Recorder* recorder_ = nullptr;
+  std::uint64_t max_queue_depth_ = 0;  // tracked only while recording
 };
 
 }  // namespace wcds::sim

@@ -8,12 +8,15 @@
 #include "graph/spanning_tree.h"
 #include "mis/mis.h"
 #include "mis/ranking.h"
+#include "obs/recorder.h"
 
 namespace wcds::core {
 
 WcdsResult algorithm1(const graph::Graph& g, const Algorithm1Options& options) {
   WCDS_REQUIRE(g.node_count() > 0, "algorithm1: empty graph");
   WCDS_REQUIRE(graph::is_connected(g), "algorithm1: graph must be connected");
+  obs::Recorder* rec = obs::global_recorder();
+  obs::PhaseTimer total_timer(rec, "alg1_central/total");
   const NodeId root = options.root == kInvalidNode ? 0 : options.root;
   WCDS_REQUIRE_BOUNDS(root < g.node_count(), "algorithm1: root out of range");
 
@@ -33,6 +36,12 @@ WcdsResult algorithm1(const graph::Graph& g, const Algorithm1Options& options) {
   result.mis_dominators = result.dominators;
   result.color.assign(g.node_count(), NodeColor::kGray);
   for (NodeId u : result.dominators) result.color[u] = NodeColor::kBlack;
+
+  if (rec != nullptr) {
+    rec->metrics().add("alg1_central/runs");
+    rec->metrics().observe("alg1_central/wcds_size",
+                           static_cast<double>(result.size()));
+  }
 
   // Debug/test tripwire: the (level, ID) ranking must yield Theorem 4's
   // two-hop complementary-subset property on top of the MIS/WCDS invariants.

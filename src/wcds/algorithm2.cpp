@@ -6,6 +6,7 @@
 #include "check/audit.h"
 #include "check/check.h"
 #include "graph/bfs.h"
+#include "obs/recorder.h"
 
 namespace wcds::core {
 namespace {
@@ -64,6 +65,8 @@ Algorithm2Output algorithm2(const graph::Graph& g,
                             const Algorithm2Options& options) {
   WCDS_REQUIRE(g.node_count() > 0, "algorithm2: empty graph");
   WCDS_REQUIRE(graph::is_connected(g), "algorithm2: graph must be connected");
+  obs::Recorder* rec = obs::global_recorder();
+  obs::PhaseTimer total_timer(rec, "alg2_central/total");
 
   Algorithm2Output out;
   out.mis = mis::greedy_mis_by_id(g);
@@ -149,6 +152,16 @@ Algorithm2Output algorithm2(const graph::Graph& g,
       r.dominators.push_back(u);
       r.color[u] = NodeColor::kBlack;
     }
+  }
+
+  if (rec != nullptr) {
+    auto& metrics = rec->metrics();
+    metrics.add("alg2_central/runs");
+    metrics.observe("alg2_central/wcds_size", static_cast<double>(r.size()));
+    metrics.observe("alg2_central/mis_size",
+                    static_cast<double>(r.mis_dominators.size()));
+    metrics.observe("alg2_central/additional_size",
+                    static_cast<double>(r.additional_dominators.size()));
   }
 
   // Debug/test tripwire: the ID-ranked MIS plus its bridge set must satisfy

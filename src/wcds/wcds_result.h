@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "check/check.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
@@ -45,7 +46,33 @@ struct WcdsResult {
   std::vector<NodeId> additional_dominators;
 
   [[nodiscard]] std::size_t size() const { return dominators.size(); }
-  [[nodiscard]] bool contains(NodeId u) const { return mask[u]; }
+
+  // Bounds-checked membership: an id outside the construction's node range
+  // is simply not in U (callers probe results against graphs of differing
+  // size, e.g. the maintenance layer's active subsets).
+  [[nodiscard]] bool contains(NodeId u) const {
+    return u < mask.size() && mask[u];
+  }
+
+  // Checked per-node accessors.  Out-of-range ids throw std::out_of_range;
+  // audit builds additionally pin down color/mask size agreement, which
+  // every construction guarantees but hand-assembled results can violate.
+  [[nodiscard]] NodeColor color_of(NodeId u) const {
+    WCDS_DCHECK_EQ(color.size(), mask.size(),
+                   "WcdsResult: color/mask size mismatch");
+    WCDS_REQUIRE_BOUNDS(u < color.size(),
+                        "WcdsResult::color_of: node " << u << " of "
+                                                      << color.size());
+    return color[u];
+  }
+  [[nodiscard]] bool in_mask(NodeId u) const {
+    WCDS_DCHECK_EQ(color.size(), mask.size(),
+                   "WcdsResult: color/mask size mismatch");
+    WCDS_REQUIRE_BOUNDS(u < mask.size(),
+                        "WcdsResult::in_mask: node " << u << " of "
+                                                     << mask.size());
+    return mask[u];
+  }
 };
 
 }  // namespace wcds::core

@@ -12,6 +12,7 @@
 #include "baselines/greedy_cds.h"
 #include "baselines/greedy_wcds.h"
 #include "baselines/mis_tree_cds.h"
+#include "facade/build.h"
 #include "geom/workload.h"
 #include "graph/bfs.h"
 #include "protocols/algorithm1_protocol.h"
@@ -131,6 +132,78 @@ TEST(Differential, DataPlaneReachabilityEqualsBfs) {
     const auto run = protocols::route_flows(inst.g, out, requests);
     // Connected graph: everything BFS-reachable must be delivered.
     EXPECT_EQ(run.delivered_count(), requests.size()) << seed;
+  }
+}
+
+TEST(Differential, FacadeMatchesDirectEntrypoints) {
+  // core::build() is a pure dispatcher: for every mode its report must be
+  // bit-for-bit the corresponding direct entrypoint's output (the runs are
+  // deterministic under the unit-delay model).
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto inst = testing::connected_udg(110, 9.0, seed);
+
+    core::BuildOptions options;
+    options.algorithm = core::BuildAlgorithm::kAlgorithm1Central;
+    const auto f1c = core::build(inst.g, options);
+    const auto d1c = core::algorithm1(inst.g);
+    EXPECT_EQ(f1c.result.dominators, d1c.dominators) << seed;
+    EXPECT_EQ(f1c.result.mask, d1c.mask) << seed;
+
+    options.algorithm = core::BuildAlgorithm::kAlgorithm2Central;
+    const auto f2c = core::build(inst.g, options);
+    const auto d2c = core::algorithm2(inst.g);
+    EXPECT_EQ(f2c.result.dominators, d2c.result.dominators) << seed;
+    EXPECT_EQ(f2c.result.additional_dominators,
+              d2c.result.additional_dominators)
+        << seed;
+    EXPECT_EQ(f2c.mis.members, d2c.mis.members) << seed;
+    EXPECT_EQ(f2c.lists.one_hop, d2c.lists.one_hop) << seed;
+    EXPECT_EQ(f2c.lists.two_hop, d2c.lists.two_hop) << seed;
+    EXPECT_EQ(f2c.lists.three_hop, d2c.lists.three_hop) << seed;
+
+    options.algorithm = core::BuildAlgorithm::kAlgorithm1Protocol;
+    const auto f1p = core::build(inst.g, options);
+    const auto d1p = protocols::run_algorithm1(inst.g);
+    EXPECT_EQ(f1p.result.dominators, d1p.wcds.dominators) << seed;
+    EXPECT_EQ(f1p.leader, d1p.leader) << seed;
+    EXPECT_EQ(f1p.levels, d1p.levels) << seed;
+    EXPECT_EQ(f1p.stats.transmissions, d1p.stats.transmissions) << seed;
+    EXPECT_EQ(f1p.stats.completion_time, d1p.stats.completion_time) << seed;
+
+    options.algorithm = core::BuildAlgorithm::kAlgorithm2Protocol;
+    const auto f2p = core::build(inst.g, options);
+    const auto d2p = protocols::run_algorithm2(inst.g);
+    EXPECT_EQ(f2p.result.dominators, d2p.wcds.dominators) << seed;
+    EXPECT_EQ(f2p.result.mis_dominators, d2p.wcds.mis_dominators) << seed;
+    EXPECT_EQ(f2p.stats.transmissions, d2p.stats.transmissions) << seed;
+    EXPECT_EQ(f2p.stats.completion_time, d2p.stats.completion_time) << seed;
+  }
+}
+
+TEST(Differential, FacadeMatchesDirectEntrypointsUnderAsyncDelays) {
+  // Same dispatcher claim under a seeded random-delay model: the facade must
+  // reproduce the direct run exactly because both draw the same delay
+  // sequence from the same seed.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto inst = testing::connected_udg(100, 9.0, seed);
+    const auto delays = sim::DelayModel::uniform(1, 8, seed * 17 + 5);
+
+    core::BuildOptions options;
+    options.algorithm = core::BuildAlgorithm::kAlgorithm1Protocol;
+    options.delays = delays;
+    const auto f1 = core::build(inst.g, options);
+    const auto d1 = protocols::run_algorithm1(inst.g, delays);
+    EXPECT_EQ(f1.result.dominators, d1.wcds.dominators) << seed;
+    EXPECT_EQ(f1.levels, d1.levels) << seed;
+    EXPECT_EQ(f1.stats.transmissions, d1.stats.transmissions) << seed;
+    EXPECT_EQ(f1.stats.completion_time, d1.stats.completion_time) << seed;
+
+    options.algorithm = core::BuildAlgorithm::kAlgorithm2Protocol;
+    const auto f2 = core::build(inst.g, options);
+    const auto d2 = protocols::run_algorithm2(inst.g, delays);
+    EXPECT_EQ(f2.result.dominators, d2.wcds.dominators) << seed;
+    EXPECT_EQ(f2.stats.transmissions, d2.stats.transmissions) << seed;
+    EXPECT_EQ(f2.stats.completion_time, d2.stats.completion_time) << seed;
   }
 }
 

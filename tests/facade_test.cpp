@@ -1,0 +1,189 @@
+// The wcds::core::build() facade: per-mode report contents, observability
+// snapshot wiring, error contracts, and the hardened WcdsResult accessors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "check/check.h"
+#include "facade/build.h"
+#include "graph/graph.h"
+#include "obs/recorder.h"
+#include "routing/clusterhead_routing.h"
+#include "test_util.h"
+#include "wcds/verify.h"
+
+namespace wcds {
+namespace {
+
+constexpr core::BuildAlgorithm kAllModes[] = {
+    core::BuildAlgorithm::kAlgorithm1Central,
+    core::BuildAlgorithm::kAlgorithm2Central,
+    core::BuildAlgorithm::kAlgorithm1Protocol,
+    core::BuildAlgorithm::kAlgorithm2Protocol,
+};
+
+core::BuildReport build_mode(const graph::Graph& g,
+                             core::BuildAlgorithm algorithm,
+                             obs::Recorder* recorder = nullptr) {
+  core::BuildOptions options;
+  options.algorithm = algorithm;
+  options.recorder = recorder;
+  return core::build(g, options);
+}
+
+TEST(Facade, EveryModeProducesAVerifiedWcds) {
+  const auto inst = testing::connected_udg(90, 8.0, 2);
+  for (const auto mode : kAllModes) {
+    const auto report = build_mode(inst.g, mode);
+    EXPECT_TRUE(core::is_wcds(inst.g, report.result.mask))
+        << core::to_string(mode);
+    // The report's MIS mirrors the result's MIS-dominators.
+    EXPECT_EQ(report.mis.members, report.result.mis_dominators)
+        << core::to_string(mode);
+    for (const NodeId u : report.mis.members) {
+      EXPECT_TRUE(report.mis.mask[u]) << core::to_string(mode);
+    }
+  }
+}
+
+TEST(Facade, CentralModesReportNoSimCosts) {
+  const auto inst = testing::connected_udg(70, 8.0, 3);
+  for (const auto mode : {core::BuildAlgorithm::kAlgorithm1Central,
+                          core::BuildAlgorithm::kAlgorithm2Central}) {
+    const auto report = build_mode(inst.g, mode);
+    EXPECT_EQ(report.stats.transmissions, 0u) << core::to_string(mode);
+    EXPECT_EQ(report.stats.completion_time, 0u) << core::to_string(mode);
+  }
+}
+
+TEST(Facade, ProtocolModesReportSimCosts) {
+  const auto inst = testing::connected_udg(70, 8.0, 3);
+  for (const auto mode : {core::BuildAlgorithm::kAlgorithm1Protocol,
+                          core::BuildAlgorithm::kAlgorithm2Protocol}) {
+    const auto report = build_mode(inst.g, mode);
+    EXPECT_TRUE(report.stats.quiescent) << core::to_string(mode);
+    EXPECT_GT(report.stats.transmissions, 0u) << core::to_string(mode);
+    EXPECT_GT(report.stats.completion_time, 0u) << core::to_string(mode);
+  }
+}
+
+TEST(Facade, Algorithm1ModesReportLeaderAndLevels) {
+  const auto inst = testing::connected_udg(70, 8.0, 4);
+  const auto central =
+      build_mode(inst.g, core::BuildAlgorithm::kAlgorithm1Central);
+  EXPECT_EQ(central.leader, 0u);  // min-ID leadership criterion
+
+  const auto protocol =
+      build_mode(inst.g, core::BuildAlgorithm::kAlgorithm1Protocol);
+  EXPECT_EQ(protocol.leader, 0u);
+  ASSERT_EQ(protocol.levels.size(), inst.g.node_count());
+  EXPECT_EQ(protocol.levels[protocol.leader], 0u);
+}
+
+TEST(Facade, ExplicitRootIsHonored) {
+  const auto inst = testing::connected_udg(50, 8.0, 5);
+  core::BuildOptions options;
+  options.algorithm = core::BuildAlgorithm::kAlgorithm1Central;
+  options.root = 7;
+  const auto report = core::build(inst.g, options);
+  EXPECT_EQ(report.leader, 7u);
+  EXPECT_TRUE(core::is_wcds(inst.g, report.result.mask));
+}
+
+TEST(Facade, Algorithm2OutputFeedsTheRouter) {
+  const auto inst = testing::connected_udg(80, 9.0, 6);
+  const auto report =
+      build_mode(inst.g, core::BuildAlgorithm::kAlgorithm2Central);
+  EXPECT_EQ(report.lists.one_hop.size(), inst.g.node_count());
+  const routing::ClusterheadRouter router(inst.g, report.algorithm2_output());
+  const auto route = router.route(0, inst.g.node_count() - 1);
+  EXPECT_TRUE(route.delivered);
+}
+
+TEST(Facade, ProtocolAlgorithm2ListsMatchCentralized) {
+  // The protocol mode recomputes the dominator lists centrally from the
+  // timing-independent MIS fixpoint — they must agree with the centralized
+  // mode's lists wholesale.
+  const auto inst = testing::connected_udg(80, 9.0, 7);
+  const auto central =
+      build_mode(inst.g, core::BuildAlgorithm::kAlgorithm2Central);
+  const auto protocol =
+      build_mode(inst.g, core::BuildAlgorithm::kAlgorithm2Protocol);
+  EXPECT_EQ(protocol.result.mis_dominators, central.result.mis_dominators);
+  EXPECT_EQ(protocol.lists.one_hop, central.lists.one_hop);
+}
+
+TEST(Facade, RecorderSnapshotCapturesBuildMetrics) {
+  const auto inst = testing::connected_udg(60, 8.0, 8);
+  obs::Recorder recorder;
+  const auto report = build_mode(
+      inst.g, core::BuildAlgorithm::kAlgorithm2Protocol, &recorder);
+  const auto& metrics = report.metrics;
+  EXPECT_EQ(metrics.counters.at("build/runs"), 1u);
+  EXPECT_EQ(metrics.counters.at("build/runs/algorithm2-protocol"), 1u);
+  EXPECT_DOUBLE_EQ(metrics.histograms.at("build/wcds_size").mean,
+                   static_cast<double>(report.result.size()));
+  EXPECT_DOUBLE_EQ(metrics.histograms.at("build/transmissions").mean,
+                   static_cast<double>(report.stats.transmissions));
+  EXPECT_EQ(metrics.histograms.at("phase_ms/build/total").count, 1u);
+  // The sim's own counters flow through the same recorder.
+  EXPECT_EQ(metrics.counters.at("sim/transmissions"),
+            report.stats.transmissions);
+}
+
+TEST(Facade, NoRecorderLeavesMetricsEmpty) {
+  const auto inst = testing::connected_udg(40, 8.0, 9);
+  const auto report =
+      build_mode(inst.g, core::BuildAlgorithm::kAlgorithm2Central);
+  EXPECT_TRUE(report.metrics.empty());
+}
+
+TEST(Facade, EmptyGraphThrows) {
+  EXPECT_THROW((void)core::build(graph::Graph{}), std::invalid_argument);
+}
+
+// --- Hardened WcdsResult accessors ------------------------------------------
+
+TEST(WcdsResultAccessors, ContainsIsBoundsChecked) {
+  const auto inst = testing::connected_udg(30, 8.0, 10);
+  const auto report =
+      build_mode(inst.g, core::BuildAlgorithm::kAlgorithm2Central);
+  for (const NodeId u : report.result.dominators) {
+    EXPECT_TRUE(report.result.contains(u));
+  }
+  EXPECT_FALSE(report.result.contains(static_cast<NodeId>(1000000)));
+  EXPECT_FALSE(report.result.contains(kInvalidNode));
+}
+
+TEST(WcdsResultAccessors, CheckedAccessorsAgreeWithVectors) {
+  const auto inst = testing::connected_udg(30, 8.0, 11);
+  const auto report =
+      build_mode(inst.g, core::BuildAlgorithm::kAlgorithm1Central);
+  for (NodeId u = 0; u < inst.g.node_count(); ++u) {
+    EXPECT_EQ(report.result.in_mask(u), report.result.contains(u));
+    EXPECT_EQ(report.result.color_of(u) == core::NodeColor::kBlack,
+              report.result.contains(u));
+  }
+}
+
+TEST(WcdsResultAccessors, OutOfRangeAccessThrows) {
+  const auto inst = testing::connected_udg(30, 8.0, 12);
+  const auto report =
+      build_mode(inst.g, core::BuildAlgorithm::kAlgorithm1Central);
+  const auto n = static_cast<NodeId>(inst.g.node_count());
+  EXPECT_THROW((void)report.result.color_of(n), std::out_of_range);
+  EXPECT_THROW((void)report.result.in_mask(n), std::out_of_range);
+}
+
+TEST(WcdsResultAccessors, AuditBuildsCatchColorMaskMismatch) {
+  if constexpr (check::audits_compiled_in()) {
+    core::WcdsResult broken;
+    broken.mask.assign(4, false);
+    broken.color.assign(3, core::NodeColor::kGray);  // size disagreement
+    EXPECT_THROW((void)broken.color_of(0), check::CheckError);
+  }
+}
+
+}  // namespace
+}  // namespace wcds

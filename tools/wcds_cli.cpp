@@ -35,8 +35,7 @@
 #include "routing/clusterhead_routing.h"
 #include "spanner/analysis.h"
 #include "udg/udg.h"
-#include "wcds/algorithm1.h"
-#include "wcds/algorithm2.h"
+#include "facade/build.h"
 #include "wcds/verify.h"
 
 namespace {
@@ -125,15 +124,16 @@ int cmd_backbone(const Args& args) {
     return 1;
   }
   const auto algorithm = args.get_u64("algorithm", 2);
-  core::WcdsResult result;
+  core::BuildOptions build_options;
   if (algorithm == 1) {
-    result = core::algorithm1(g);
+    build_options.algorithm = core::BuildAlgorithm::kAlgorithm1Central;
   } else if (algorithm == 2) {
-    result = core::algorithm2(g).result;
+    build_options.algorithm = core::BuildAlgorithm::kAlgorithm2Central;
   } else {
     std::cerr << "--algorithm must be 1 or 2\n";
     return 1;
   }
+  core::WcdsResult result = core::build(g, build_options).result;
   const auto spanner = core::extract_spanner(g, result);
   const auto topo = spanner::topological_dilation(g, spanner, 40);
   std::cout << "algorithm " << algorithm << ": |U| = " << result.size() << " ("
@@ -169,7 +169,9 @@ int cmd_route(const Args& args) {
     std::cerr << "src/dst out of range\n";
     return 1;
   }
-  const auto out = core::algorithm2(g);
+  core::BuildOptions route_options;
+  route_options.algorithm = core::BuildAlgorithm::kAlgorithm2Central;
+  const auto out = core::build(g, route_options).algorithm2_output();
   const routing::ClusterheadRouter router(g, out);
   const auto route = router.route(src, dst);
   if (!route.delivered) {
@@ -210,7 +212,9 @@ int cmd_broadcast(const Args& args) {
     std::cerr << "source out of range\n";
     return 1;
   }
-  const auto backbone = core::algorithm2(g);
+  core::BuildOptions broadcast_options;
+  broadcast_options.algorithm = core::BuildAlgorithm::kAlgorithm2Central;
+  const auto backbone = core::build(g, broadcast_options);
   auto relays = broadcast::relay_set(g, backbone.result.mask);
   relays[source] = true;
   const auto blind = broadcast::blind_flood(g, source);
