@@ -1,0 +1,225 @@
+// Experiment A5: simulator hot-path performance.
+//
+// A5a times Runtime::run end-to-end for both distributed algorithms under
+// both delay regimes, comparing the production flat event queue (pooled
+// broadcast payloads + two-bucket calendar / binary heap) against the
+// reference std::map queue it replaced (docs/PERFORMANCE.md).  Both queues
+// deliver in identical (time, seq) order — tests/runtime_queue_test.cpp
+// proves it — so the speedup column is a pure data-structure effect.
+//
+// A5b times the spanner dilation analysis serially (one lane) and on the
+// WCDS_THREADS pool; outputs are byte-identical by construction
+// (src/spanner/analysis.cpp), so only wall time may differ.
+#include "bench_common.h"
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <map>
+
+#include "bench_support/table.h"
+#include "protocols/algorithm1_protocol.h"
+#include "protocols/algorithm2_protocol.h"
+#include "spanner/analysis.h"
+#include "wcds/verify.h"
+
+namespace {
+
+using namespace wcds;
+
+// One UDG per size, shared by the table and the BM_ timings below.
+const bench::Instance& instance_for(std::uint32_t n) {
+  static std::map<std::uint32_t, bench::Instance> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    it = cache.emplace(n, bench::connected_instance(n, 10.0, 1)).first;
+  }
+  return it->second;
+}
+
+sim::DelayModel delay_for(bool async) {
+  return async ? sim::DelayModel::uniform(1, 5, 7) : sim::DelayModel::unit();
+}
+
+double run_once_ms(const graph::Graph& g, bool alg1, bool async,
+                   sim::QueuePolicy queue) {
+  const auto delays = delay_for(async);
+  const auto start = std::chrono::steady_clock::now();
+  if (alg1) {
+    benchmark::DoNotOptimize(
+        protocols::run_algorithm1(g, delays, nullptr, queue));
+  } else {
+    benchmark::DoNotOptimize(
+        protocols::run_algorithm2(g, delays, nullptr, queue));
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+double median_of_3_ms(const graph::Graph& g, bool alg1, bool async,
+                      sim::QueuePolicy queue) {
+  double t[3];
+  for (double& sample : t) sample = run_once_ms(g, alg1, async, queue);
+  std::sort(t, t + 3);
+  return t[1];
+}
+
+void print_tables() {
+  // Timing sections run with the ambient recorder uninstalled: a recorder
+  // adds a trace callback per event, which would pollute the flat-vs-map
+  // comparison.  The printed rows still land in report() for --json_out.
+  obs::Recorder* const ambient = obs::global_recorder();
+  obs::set_global_recorder(nullptr);
+
+  bench::banner(std::cout,
+                "A5a: Runtime::run wall time, flat vs reference-map queue "
+                "(median of 3)");
+  bench::Table table(
+      {"n", "alg", "delays", "map ms", "flat ms", "speedup"});
+  struct TimedConfig {
+    std::string name;
+    double ms = 0.0;
+  };
+  std::vector<TimedConfig> gauges;
+  for (const std::uint32_t n : {512u, 2048u, 8192u}) {
+    const auto& inst = instance_for(n);
+    for (const bool alg1 : {true, false}) {
+      for (const bool async : {false, true}) {
+        const double map_ms = median_of_3_ms(inst.g, alg1, async,
+                                             sim::QueuePolicy::kReferenceMap);
+        const double flat_ms =
+            median_of_3_ms(inst.g, alg1, async, sim::QueuePolicy::kFlat);
+        table.add_row({std::to_string(n), alg1 ? "alg1" : "alg2",
+                       async ? "async U(1,5)" : "sync", bench::fmt(map_ms, 2),
+                       bench::fmt(flat_ms, 2),
+                       bench::fmt(map_ms / flat_ms, 2) + "x"});
+        const std::string key = std::string(alg1 ? "alg1" : "alg2") +
+                                (async ? "_async_n" : "_sync_n") +
+                                std::to_string(n);
+        gauges.push_back({"a5/map_ms/" + key, map_ms});
+        gauges.push_back({"a5/flat_ms/" + key, flat_ms});
+        gauges.push_back({"a5/speedup/" + key, map_ms / flat_ms});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  bench::banner(std::cout,
+                "A5b: dilation analysis, serial vs WCDS_THREADS pool");
+  bench::Table par({"n", "threads", "serial ms", "parallel ms", "speedup",
+                    "identical"});
+  for (const std::uint32_t n : {2048u, 8192u}) {
+    const auto& inst = instance_for(n);
+    const auto wcds =
+        bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central)
+            .result;
+    const auto sp = core::extract_spanner(inst.g, wcds);
+    spanner::TopologicalDilationStats serial_stats;
+    double serial_ms = 0.0;
+    {
+      parallel::ThreadPool one(1);
+      parallel::ScopedPool scoped(one);
+      const auto start = std::chrono::steady_clock::now();
+      serial_stats = spanner::topological_dilation(inst.g, sp);
+      const auto stop = std::chrono::steady_clock::now();
+      serial_ms =
+          std::chrono::duration<double, std::milli>(stop - start).count();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const auto parallel_stats = spanner::topological_dilation(inst.g, sp);
+    const auto stop = std::chrono::steady_clock::now();
+    const double parallel_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    const bool identical = serial_stats.max_ratio == parallel_stats.max_ratio &&
+                           serial_stats.mean_ratio == parallel_stats.mean_ratio &&
+                           serial_stats.max_slack == parallel_stats.max_slack &&
+                           serial_stats.pairs == parallel_stats.pairs;
+    par.add_row({std::to_string(n),
+                 std::to_string(parallel::default_thread_count()),
+                 bench::fmt(serial_ms, 2), bench::fmt(parallel_ms, 2),
+                 bench::fmt(serial_ms / parallel_ms, 2) + "x",
+                 identical ? "yes" : "NO"});
+  }
+  par.print(std::cout);
+  std::cout << "\nExpected shape: flat-queue speedup grows with n (the map "
+               "pays a per-delivery\nallocation plus O(log q) pointer "
+               "chasing; the calendar is O(1) amortized and\nthe heap works "
+               "on a contiguous 24-byte-record array).  A5b speedup tracks\n"
+               "WCDS_THREADS on multi-core hosts and is ~1.0x single-core; "
+               "the 'identical'\ncolumn must read yes either way.\n";
+
+  obs::set_global_recorder(ambient);
+  // With the recorder back in effect, fold the wall times into the metrics
+  // snapshot so --json_out carries machine-readable numbers alongside the
+  // table rows.
+  if (ambient != nullptr) {
+    for (const TimedConfig& gauge : gauges) {
+      ambient->metrics().set(gauge.name, gauge.ms);
+    }
+  }
+}
+
+void BM_RuntimeRun(benchmark::State& state, bool alg1, bool async,
+                   sim::QueuePolicy queue) {
+  const auto& inst = instance_for(static_cast<std::uint32_t>(state.range(0)));
+  const auto delays = delay_for(async);
+  for (auto _ : state) {
+    if (alg1) {
+      benchmark::DoNotOptimize(
+          protocols::run_algorithm1(inst.g, delays, nullptr, queue));
+    } else {
+      benchmark::DoNotOptimize(
+          protocols::run_algorithm2(inst.g, delays, nullptr, queue));
+    }
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+#define WCDS_BM_RUNTIME(name, alg1, async, queue)                       \
+  BENCHMARK_CAPTURE(BM_RuntimeRun, name, alg1, async, queue)            \
+      ->Arg(512)                                                        \
+      ->Arg(2048)                                                       \
+      ->Arg(8192)                                                       \
+      ->Unit(benchmark::kMillisecond)                                   \
+      ->Complexity()
+
+WCDS_BM_RUNTIME(alg1_sync_flat, true, false, sim::QueuePolicy::kFlat);
+WCDS_BM_RUNTIME(alg1_sync_map, true, false, sim::QueuePolicy::kReferenceMap);
+WCDS_BM_RUNTIME(alg1_async_flat, true, true, sim::QueuePolicy::kFlat);
+WCDS_BM_RUNTIME(alg1_async_map, true, true, sim::QueuePolicy::kReferenceMap);
+WCDS_BM_RUNTIME(alg2_sync_flat, false, false, sim::QueuePolicy::kFlat);
+WCDS_BM_RUNTIME(alg2_sync_map, false, false, sim::QueuePolicy::kReferenceMap);
+WCDS_BM_RUNTIME(alg2_async_flat, false, true, sim::QueuePolicy::kFlat);
+WCDS_BM_RUNTIME(alg2_async_map, false, true, sim::QueuePolicy::kReferenceMap);
+
+#undef WCDS_BM_RUNTIME
+
+void BM_DilationSerial(benchmark::State& state) {
+  const auto& inst = instance_for(static_cast<std::uint32_t>(state.range(0)));
+  const auto wcds =
+      bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central)
+          .result;
+  const auto sp = core::extract_spanner(inst.g, wcds);
+  parallel::ThreadPool one(1);
+  parallel::ScopedPool scoped(one);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spanner::topological_dilation(inst.g, sp));
+  }
+}
+BENCHMARK(BM_DilationSerial)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+void BM_DilationParallel(benchmark::State& state) {
+  const auto& inst = instance_for(static_cast<std::uint32_t>(state.range(0)));
+  const auto wcds =
+      bench::build_with(inst.g, core::BuildAlgorithm::kAlgorithm2Central)
+          .result;
+  const auto sp = core::extract_spanner(inst.g, wcds);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spanner::topological_dilation(inst.g, sp));
+  }
+}
+BENCHMARK(BM_DilationParallel)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+WCDS_BENCH_MAIN(print_tables)

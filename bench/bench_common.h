@@ -15,6 +15,8 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "bench_support/report.h"
@@ -27,6 +29,7 @@
 #include "graph/bfs.h"
 #include "graph/graph.h"
 #include "obs/recorder.h"
+#include "parallel/thread_pool.h"
 #include "udg/udg.h"
 
 namespace wcds::bench {
@@ -68,6 +71,28 @@ inline Instance connected_instance_of(geom::WorkloadKind kind,
     params.side *= 0.99;
   }
   throw std::runtime_error("connected_instance_of: density too low");
+}
+
+// Run fn(trial) for every trial in [0, n) across the thread pool and return
+// the results in trial order — the multi-seed reproduction tables aggregate
+// from the ordered vector, so parallel and serial runs print identical
+// numbers (thread count comes from WCDS_THREADS, default
+// hardware_concurrency; 1 forces the serial path).  Falls back to serial
+// when an ambient recorder is installed (--json_out): MetricsRegistry is not
+// thread-safe.
+template <typename Fn>
+[[nodiscard]] auto run_trials(std::size_t n, Fn&& fn) {
+  using Result = std::invoke_result_t<Fn&, std::size_t>;
+  std::vector<Result> results(n);
+  if (obs::global_recorder() != nullptr) {
+    for (std::size_t trial = 0; trial < n; ++trial) {
+      results[trial] = fn(trial);
+    }
+  } else {
+    parallel::parallel_for(0, n, 1,
+                           [&](std::size_t trial) { results[trial] = fn(trial); });
+  }
+  return results;
 }
 
 // Run the unified construction facade in one mode with default options;

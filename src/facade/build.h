@@ -52,6 +52,11 @@ struct BuildOptions {
   // Protocol modes only: the sim's message-delay regime.
   sim::DelayModel delays = sim::DelayModel::unit();
 
+  // Protocol modes only: the sim's event-queue implementation.  The default
+  // flat queue is the production path; the reference map reproduces the
+  // original allocating queue for differential tests and benchmarks.
+  sim::QueuePolicy queue_policy = sim::QueuePolicy::kFlat;
+
   // Observability: explicit recorder, else the ambient
   // obs::global_recorder(), else no recording.
   obs::Recorder* recorder = nullptr;

@@ -1,8 +1,10 @@
 #include "graph/diameter.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "graph/bfs.h"
+#include "parallel/thread_pool.h"
 
 namespace wcds::graph {
 
@@ -11,16 +13,31 @@ DistanceMetrics distance_metrics(const Graph& g, std::size_t max_sources) {
   const std::size_t n = g.node_count();
   if (n == 0) return metrics;
   const std::size_t count = std::min(n, max_sources);
-  double sum = 0.0;
-  for (std::size_t i = 0; i < count; ++i) {
+  // One partial per BFS source, merged in source order: parallel and serial
+  // runs produce byte-identical results (each source's sum accumulates on
+  // one lane; the cross-source reduction order is fixed).
+  struct SourcePartial {
+    HopCount eccentricity = 0;
+    double sum = 0.0;
+    std::uint64_t pairs = 0;
+  };
+  std::vector<SourcePartial> partials(count);
+  parallel::parallel_for(0, count, 1, [&](std::size_t i) {
+    SourcePartial& partial = partials[i];
     const NodeId source = static_cast<NodeId>(i * n / count);
     const auto dist = bfs_distances(g, source);
     for (NodeId v = 0; v < n; ++v) {
       if (v == source || dist[v] == kUnreachable) continue;
-      metrics.diameter = std::max(metrics.diameter, dist[v]);
-      sum += static_cast<double>(dist[v]);
-      ++metrics.connected_pairs;
+      partial.eccentricity = std::max(partial.eccentricity, dist[v]);
+      partial.sum += static_cast<double>(dist[v]);
+      ++partial.pairs;
     }
+  });
+  double sum = 0.0;
+  for (const SourcePartial& partial : partials) {
+    metrics.diameter = std::max(metrics.diameter, partial.eccentricity);
+    sum += partial.sum;
+    metrics.connected_pairs += partial.pairs;
   }
   if (metrics.connected_pairs > 0) {
     metrics.average_path_length =

@@ -41,6 +41,18 @@ class Graph {
   // O(log deg(u)) membership test on the sorted adjacency row.
   [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
 
+  // Directed CSR slots: slot of (u, v) is row_begin(u) + index of v in u's
+  // sorted adjacency row.  Slots are dense in [0, adjacency_slots()) and
+  // stable for the graph's lifetime, so per-link state (e.g. the simulator's
+  // FIFO link clocks) can live in a flat vector instead of a hash map.
+  [[nodiscard]] std::size_t adjacency_slots() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t row_begin(NodeId u) const { return offsets_[u]; }
+
+  // Slot of directed pair (u, v), or kNoSlot when v is not adjacent to u.
+  // O(log deg(u)), same search as has_edge.
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t edge_slot(NodeId u, NodeId v) const;
+
   [[nodiscard]] std::size_t max_degree() const;
   [[nodiscard]] double average_degree() const;
 

@@ -1,0 +1,99 @@
+// Fixed-size thread pool with a deterministic parallel_for.
+//
+// Design goals (docs/PERFORMANCE.md):
+//  - Determinism: parallel_for(begin, end, grain, fn) executes fn(i) exactly
+//    once for every index; callers write results into per-index slots they
+//    own, then merge in index order, so the output is byte-identical no
+//    matter how many threads ran or how chunks were scheduled.  A one-thread
+//    pool (or WCDS_THREADS=1) runs everything inline in ascending order —
+//    the serial path is the same code.
+//  - No global fan-out surprises: the process-wide pool is created lazily on
+//    first use; WCDS_THREADS=1 never spawns a thread.
+//
+// Thread-count resolution: explicit constructor argument, else the
+// WCDS_THREADS environment variable, else std::thread::hardware_concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wcds::parallel {
+
+// Threads a default-constructed pool uses: WCDS_THREADS (clamped to >= 1)
+// when set and parseable, else hardware_concurrency (>= 1).  Reads the
+// environment on every call so tests can override per-case.
+[[nodiscard]] std::size_t default_thread_count();
+
+class ThreadPool {
+ public:
+  // threads == 0 selects default_thread_count().  threads == 1 keeps the
+  // pool workerless: every parallel_for runs inline on the caller.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total execution lanes, including the calling thread.
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  // Execute fn(i) exactly once for every i in [begin, end), in chunks of at
+  // least `grain` consecutive indices.  The caller participates; returns
+  // once every index has run.  The first exception thrown by fn is
+  // rethrown here (remaining chunks are abandoned).  Not reentrant: fn must
+  // not call parallel_for on the same pool.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  static void drain(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;       // workers wait for a job or stop
+  std::condition_variable done_;       // caller waits for workers to finish
+  Job* job_ = nullptr;                 // guarded by mutex_
+  std::uint64_t job_generation_ = 0;   // guarded by mutex_
+  std::size_t workers_active_ = 0;     // guarded by mutex_
+  bool stop_ = false;                  // guarded by mutex_
+};
+
+// Process-wide pool, created on first use with default_thread_count()
+// threads.  Never constructed when the effective thread count is 1.
+[[nodiscard]] ThreadPool& global_pool();
+
+// Install `pool` as the pool parallel_for() below uses; returns the previous
+// override (null = use the lazy global pool).  For tests; not thread-safe
+// against concurrent parallel_for calls.
+ThreadPool* set_global_pool(ThreadPool* pool) noexcept;
+
+// RAII form of set_global_pool for test scopes.
+class ScopedPool {
+ public:
+  explicit ScopedPool(ThreadPool& pool) : previous_(set_global_pool(&pool)) {}
+  ~ScopedPool() { set_global_pool(previous_); }
+
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
+
+// parallel_for over the installed (or lazy global) pool.  Runs inline —
+// without ever creating the pool — when the range is a single chunk or the
+// effective thread count is 1.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace wcds::parallel

@@ -182,7 +182,8 @@ void Algorithm1Node::on_receive(sim::Context& ctx, const sim::Message& msg) {
 
 DistributedAlgorithm1Run run_algorithm1(const graph::Graph& g,
                                         const sim::DelayModel& delays,
-                                        obs::Recorder* recorder) {
+                                        obs::Recorder* recorder,
+                                        sim::QueuePolicy queue) {
   WCDS_REQUIRE(g.node_count() > 0, "run_algorithm1: empty graph");
   WCDS_REQUIRE(graph::is_connected(g),
                "run_algorithm1: graph must be connected");
@@ -190,7 +191,7 @@ DistributedAlgorithm1Run run_algorithm1(const graph::Graph& g,
   obs::PhaseTimer total_timer(rec, "alg1/total");
   sim::Runtime runtime(
       g, [](NodeId) { return std::make_unique<Algorithm1Node>(); }, delays,
-      rec);
+      rec, queue);
   DistributedAlgorithm1Run run;
   {
     obs::PhaseTimer run_timer(rec, "alg1/protocol_run");

@@ -198,7 +198,8 @@ void Algorithm2Node::on_receive(sim::Context& ctx, const sim::Message& msg) {
 
 DistributedWcdsRun run_algorithm2(const graph::Graph& g,
                                   const sim::DelayModel& delays,
-                                  obs::Recorder* recorder) {
+                                  obs::Recorder* recorder,
+                                  sim::QueuePolicy queue) {
   WCDS_REQUIRE(g.node_count() > 0, "run_algorithm2: empty graph");
   WCDS_REQUIRE(graph::is_connected(g),
                "run_algorithm2: graph must be connected");
@@ -206,7 +207,7 @@ DistributedWcdsRun run_algorithm2(const graph::Graph& g,
   obs::PhaseTimer total_timer(rec, "alg2/total");
   sim::Runtime runtime(
       g, [](NodeId) { return std::make_unique<Algorithm2Node>(); }, delays,
-      rec);
+      rec, queue);
   DistributedWcdsRun run;
   {
     obs::PhaseTimer run_timer(rec, "alg2/protocol_run");

@@ -118,8 +118,12 @@ struct DistributedWcdsRun {
 // resulting |WCDS|.  Application code should prefer the wcds::core::build()
 // facade (src/facade/build.h); calling this directly is deprecated outside
 // the protocol layer itself.
+// `queue` selects the sim's event-queue implementation; the default flat
+// queue is the production path, the reference map exists for differential
+// tests and benchmarks (both deliver in identical (time, seq) order).
 [[nodiscard]] DistributedWcdsRun run_algorithm2(
     const graph::Graph& g, const sim::DelayModel& delays = sim::DelayModel::unit(),
-    obs::Recorder* recorder = nullptr);
+    obs::Recorder* recorder = nullptr,
+    sim::QueuePolicy queue = sim::QueuePolicy::kFlat);
 
 }  // namespace wcds::protocols

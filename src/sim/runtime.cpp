@@ -6,6 +6,14 @@
 #include "check/check.h"
 
 namespace wcds::sim {
+namespace {
+
+// Strict total order on (time, seq); seq is unique per delivery.
+[[nodiscard]] bool earlier(const auto& a, const auto& b) {
+  return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+}
+
+}  // namespace
 
 std::span<const NodeId> Context::neighbors() const {
   return runtime_.graph_.neighbors(self_);
@@ -23,11 +31,17 @@ void Context::unicast(NodeId dst, MessageType type,
 }
 
 Runtime::Runtime(const graph::Graph& g, const NodeFactory& factory,
-                 const DelayModel& delays, obs::Recorder* recorder)
-    : graph_(g), delays_(delays), delay_rng_(delays.seed + 1),
-      recorder_(recorder) {
+                 const DelayModel& delays, obs::Recorder* recorder,
+                 QueuePolicy policy)
+    : graph_(g), policy_(policy), delays_(delays),
+      delay_rng_(delays.seed + 1), recorder_(recorder) {
   WCDS_REQUIRE(delays_.min_delay >= 1 && delays_.max_delay >= delays_.min_delay,
                "Runtime: invalid delay model");
+  if (!delays_.is_unit()) {
+    // Zero-initialized clocks need no first-send branch: every real delivery
+    // time is >= 1, so max(at, 0 + 1) leaves a first send untouched.
+    link_clock_.assign(graph_.adjacency_slots(), 0);
+  }
   nodes_.reserve(g.node_count());
   for (NodeId u = 0; u < g.node_count(); ++u) {
     nodes_.push_back(factory(u));
@@ -36,7 +50,7 @@ Runtime::Runtime(const graph::Graph& g, const NodeFactory& factory,
   }
 }
 
-SimTime Runtime::schedule_delivery(NodeId src, NodeId recipient, SimTime now) {
+SimTime Runtime::delivery_time(std::size_t link_slot, SimTime now) {
   SimTime delay = delays_.min_delay;
   if (!delays_.is_unit()) {
     delay += delay_rng_.next_below(delays_.max_delay - delays_.min_delay + 1);
@@ -45,65 +59,192 @@ SimTime Runtime::schedule_delivery(NodeId src, NodeId recipient, SimTime now) {
   if (!delays_.is_unit()) {
     // Radio links never reorder: a later send on the same link arrives
     // strictly after every earlier one.
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(src) << 32) | recipient;
-    auto [it, inserted] = link_clock_.try_emplace(key, at);
-    if (!inserted) {
-      at = std::max(at, it->second + 1);
-      it->second = at;
-    }
+    at = std::max(at, link_clock_[link_slot] + 1);
+    link_clock_[link_slot] = at;
   }
   return at;
+}
+
+void Runtime::count_type(MessageType type) {
+  if (type >= per_type_counts_.size()) per_type_counts_.resize(type + 1, 0);
+  ++per_type_counts_[type];
+}
+
+std::uint32_t Runtime::acquire_slot(NodeId src, NodeId dst, MessageType type,
+                                    std::vector<std::uint32_t>&& payload,
+                                    std::uint32_t refs) {
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  PoolSlot& entry = pool_[slot];
+  entry.message.src = src;
+  entry.message.dst = dst;
+  entry.message.type = type;
+  entry.message.payload = std::move(payload);
+  entry.refs = refs;
+  return slot;
+}
+
+void Runtime::release_ref(std::uint32_t slot) {
+  PoolSlot& entry = pool_[slot];
+  WCDS_DCHECK(entry.refs > 0, "Runtime: pool slot over-released");
+  if (--entry.refs == 0) free_slots_.push_back(slot);
+}
+
+void Runtime::enqueue_flat(const PendingDelivery& delivery) {
+  if (delays_.is_unit()) {
+    // Unit delays: every new delivery is due exactly one step after the one
+    // being processed, so it belongs to the next calendar bucket; appending
+    // preserves seq order within the step.
+    WCDS_DCHECK(bucket_next_.empty() ||
+                    bucket_next_.back().time == delivery.time,
+                "Runtime: calendar bucket time skew");
+    bucket_next_.push_back(delivery);
+  } else {
+    heap_push(delivery);
+  }
+}
+
+void Runtime::heap_push(const PendingDelivery& delivery) {
+  heap_.push_back(delivery);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Runtime::PendingDelivery Runtime::heap_pop() {
+  const PendingDelivery top = heap_.front();
+  const PendingDelivery last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      if (left >= n) break;
+      std::size_t child = left;
+      if (left + 1 < n && earlier(heap_[left + 1], heap_[left])) {
+        child = left + 1;
+      }
+      if (!earlier(heap_[child], last)) break;
+      heap_[i] = heap_[child];
+      i = child;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+std::size_t Runtime::queue_size() const {
+  if (policy_ == QueuePolicy::kReferenceMap) return ref_queue_.size();
+  if (delays_.is_unit()) {
+    return (bucket_now_.size() - bucket_pos_) + bucket_next_.size();
+  }
+  return heap_.size();
 }
 
 void Runtime::send(NodeId src, SimTime now, NodeId dst, MessageType type,
                    std::vector<std::uint32_t> payload) {
   ++stats_.transmissions;
-  ++stats_.per_type[type];
-  Message msg{src, dst, type, std::move(payload)};
-  if (dst == kBroadcastDst) {
-    for (NodeId v : graph_.neighbors(src)) {
-      const SimTime at = schedule_delivery(src, v, now);
-      queue_.emplace(std::pair{at, send_seq_},
-                     PendingDelivery{at, send_seq_, msg, v});
-      ++send_seq_;
-    }
-    if (recorder_ != nullptr) [[unlikely]] record_send(msg, now);
+  count_type(type);
+  if (policy_ == QueuePolicy::kReferenceMap) {
+    send_reference(src, now, dst, type, std::move(payload));
   } else {
-    WCDS_REQUIRE_STATE(graph_.has_edge(src, dst),
+    send_flat(src, now, dst, type, std::move(payload));
+  }
+}
+
+void Runtime::send_flat(NodeId src, SimTime now, NodeId dst, MessageType type,
+                        std::vector<std::uint32_t>&& payload) {
+  if (dst == kBroadcastDst) {
+    const auto neighbors = graph_.neighbors(src);
+    if (!neighbors.empty()) {
+      // One interned payload, d POD queue records.
+      const std::uint32_t slot =
+          acquire_slot(src, dst, type, std::move(payload),
+                       static_cast<std::uint32_t>(neighbors.size()));
+      const std::size_t base = graph_.row_begin(src);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        const SimTime at = delivery_time(base + i, now);
+        enqueue_flat({at, send_seq_, slot, neighbors[i]});
+        ++send_seq_;
+      }
+    }
+    if (recorder_ != nullptr) [[unlikely]] record_send(src, dst, type, now);
+  } else {
+    const std::size_t link_slot = graph_.edge_slot(src, dst);
+    WCDS_REQUIRE_STATE(link_slot != graph::Graph::kNoSlot,
                        "Runtime: unicast " << src << " -> " << dst
                                            << " to a non-neighbor");
-    const SimTime at = schedule_delivery(src, dst, now);
-    if (recorder_ != nullptr) [[unlikely]] record_send(msg, now);
-    queue_.emplace(std::pair{at, send_seq_},
-                   PendingDelivery{at, send_seq_, std::move(msg), dst});
+    const std::uint32_t slot = acquire_slot(src, dst, type, std::move(payload), 1);
+    const SimTime at = delivery_time(link_slot, now);
+    if (recorder_ != nullptr) [[unlikely]] record_send(src, dst, type, now);
+    enqueue_flat({at, send_seq_, slot, dst});
     ++send_seq_;
   }
 }
 
-void Runtime::record_send(const Message& msg, SimTime now) {
-  max_queue_depth_ = std::max<std::uint64_t>(max_queue_depth_, queue_.size());
+void Runtime::send_reference(NodeId src, SimTime now, NodeId dst,
+                             MessageType type,
+                             std::vector<std::uint32_t>&& payload) {
+  Message msg{src, dst, type, std::move(payload)};
+  if (dst == kBroadcastDst) {
+    const auto neighbors = graph_.neighbors(src);
+    const std::size_t base = graph_.row_begin(src);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const SimTime at = delivery_time(base + i, now);
+      ref_queue_.emplace(std::pair{at, send_seq_},
+                         RefPendingDelivery{at, send_seq_, msg, neighbors[i]});
+      ++send_seq_;
+    }
+    if (recorder_ != nullptr) [[unlikely]] record_send(src, dst, type, now);
+  } else {
+    const std::size_t link_slot = graph_.edge_slot(src, dst);
+    WCDS_REQUIRE_STATE(link_slot != graph::Graph::kNoSlot,
+                       "Runtime: unicast " << src << " -> " << dst
+                                           << " to a non-neighbor");
+    const SimTime at = delivery_time(link_slot, now);
+    if (recorder_ != nullptr) [[unlikely]] record_send(src, dst, type, now);
+    ref_queue_.emplace(std::pair{at, send_seq_},
+                       RefPendingDelivery{at, send_seq_, std::move(msg), dst});
+    ++send_seq_;
+  }
+}
+
+void Runtime::record_send(NodeId src, NodeId dst, MessageType type,
+                          SimTime now) {
+  max_queue_depth_ = std::max<std::uint64_t>(max_queue_depth_, queue_size());
   if (obs::TraceSink* sink = recorder_->trace_sink()) {
     obs::TraceEvent event;
     event.kind = obs::TraceEvent::Kind::kSend;
     event.time = now;
-    event.src = msg.src;
-    event.dst = msg.dst == kBroadcastDst ? obs::kTraceBroadcastDst : msg.dst;
-    event.message_type = msg.type;
-    event.queue_depth = queue_.size();
+    event.src = src;
+    event.dst = dst == kBroadcastDst ? obs::kTraceBroadcastDst : dst;
+    event.message_type = type;
+    event.queue_depth = queue_size();
     sink->on_event(event);
   }
 }
 
-void Runtime::record_deliver(const PendingDelivery& delivery) {
+void Runtime::record_deliver(SimTime time, NodeId src, NodeId recipient,
+                             MessageType type) {
   if (obs::TraceSink* sink = recorder_->trace_sink()) {
     obs::TraceEvent event;
     event.kind = obs::TraceEvent::Kind::kDeliver;
-    event.time = delivery.time;
-    event.src = delivery.message.src;
-    event.dst = delivery.recipient;
-    event.message_type = delivery.message.type;
-    event.queue_depth = queue_.size();
+    event.time = time;
+    event.src = src;
+    event.dst = recipient;
+    event.message_type = type;
+    event.queue_depth = queue_size();
     sink->on_event(event);
   }
 }
@@ -116,9 +257,22 @@ void Runtime::record_run_stats() {
                   static_cast<double>(stats_.completion_time));
   metrics.set_max("sim/max_queue_depth",
                   static_cast<double>(max_queue_depth_));
+  metrics.set("sim/quiescent", stats_.quiescent ? 1.0 : 0.0);
   for (const auto& [type, count] : stats_.per_type) {
     metrics.add("sim/msg_type/" + std::to_string(type), count);
   }
+}
+
+void Runtime::finalize_stats(bool quiescent) {
+  stats_.quiescent = quiescent;
+  for (std::size_t type = 0; type < per_type_counts_.size(); ++type) {
+    if (per_type_counts_[type] != 0) {
+      stats_.per_type[static_cast<MessageType>(type)] = per_type_counts_[type];
+    }
+  }
+  // Budget-tripped runs fold their stats too — those are exactly the runs
+  // worth inspecting.
+  if (recorder_ != nullptr) record_run_stats();
 }
 
 RunStats Runtime::run(std::uint64_t max_events) {
@@ -129,22 +283,70 @@ RunStats Runtime::run(std::uint64_t max_events) {
     nodes_[u]->on_start(ctx);
   }
   std::uint64_t events = 0;
-  while (!queue_.empty()) {
-    if (++events > max_events) {
-      stats_.quiescent = false;
-      return stats_;
+  if (policy_ == QueuePolicy::kReferenceMap) {
+    while (!ref_queue_.empty()) {
+      if (++events > max_events) {
+        finalize_stats(false);
+        return stats_;
+      }
+      auto first = ref_queue_.begin();
+      RefPendingDelivery delivery = std::move(first->second);
+      ref_queue_.erase(first);
+      ++stats_.deliveries;
+      stats_.completion_time = delivery.time;
+      if (recorder_ != nullptr) [[unlikely]] {
+        record_deliver(delivery.time, delivery.message.src, delivery.recipient,
+                       delivery.message.type);
+      }
+      Context ctx(*this, delivery.recipient, delivery.time);
+      nodes_[delivery.recipient]->on_receive(ctx, delivery.message);
     }
-    auto first = queue_.begin();
-    PendingDelivery delivery = std::move(first->second);
-    queue_.erase(first);
-    ++stats_.deliveries;
-    stats_.completion_time = delivery.time;
-    if (recorder_ != nullptr) [[unlikely]] record_deliver(delivery);
-    Context ctx(*this, delivery.recipient, delivery.time);
-    nodes_[delivery.recipient]->on_receive(ctx, delivery.message);
+  } else if (delays_.is_unit()) {
+    while (true) {
+      if (bucket_pos_ == bucket_now_.size()) {
+        // Step the calendar: the next bucket becomes current; swap + clear
+        // keeps both capacities, so steady state allocates nothing.
+        bucket_now_.clear();
+        bucket_pos_ = 0;
+        std::swap(bucket_now_, bucket_next_);
+        if (bucket_now_.empty()) break;
+      }
+      if (++events > max_events) {
+        finalize_stats(false);
+        return stats_;
+      }
+      const PendingDelivery delivery = bucket_now_[bucket_pos_++];
+      ++stats_.deliveries;
+      stats_.completion_time = delivery.time;
+      PoolSlot& entry = pool_[delivery.slot];
+      if (recorder_ != nullptr) [[unlikely]] {
+        record_deliver(delivery.time, entry.message.src, delivery.recipient,
+                       entry.message.type);
+      }
+      Context ctx(*this, delivery.recipient, delivery.time);
+      nodes_[delivery.recipient]->on_receive(ctx, entry.message);
+      release_ref(delivery.slot);
+    }
+  } else {
+    while (!heap_.empty()) {
+      if (++events > max_events) {
+        finalize_stats(false);
+        return stats_;
+      }
+      const PendingDelivery delivery = heap_pop();
+      ++stats_.deliveries;
+      stats_.completion_time = delivery.time;
+      PoolSlot& entry = pool_[delivery.slot];
+      if (recorder_ != nullptr) [[unlikely]] {
+        record_deliver(delivery.time, entry.message.src, delivery.recipient,
+                       entry.message.type);
+      }
+      Context ctx(*this, delivery.recipient, delivery.time);
+      nodes_[delivery.recipient]->on_receive(ctx, entry.message);
+      release_ref(delivery.slot);
+    }
   }
-  stats_.quiescent = true;
-  if (recorder_ != nullptr) record_run_stats();
+  finalize_stats(true);
   return stats_;
 }
 

@@ -15,6 +15,16 @@
 // Cost accounting matches the paper: message complexity = number of
 // transmissions (a broadcast is ONE message); time complexity = the delivery
 // time of the last message.
+//
+// Hot-path design (docs/PERFORMANCE.md): the event queue is allocation-free
+// per delivery.  A broadcast interns its payload ONCE in a recycled message
+// pool; each of the d recipients enqueues a 24-byte POD PendingDelivery
+// referencing the shared slot.  Under unit delays every delivery lands at
+// now+1, so a two-bucket rotating calendar replaces the priority queue
+// entirely; under random delays a flat binary min-heap over a contiguous
+// vector keyed by (time, seq) is used.  The original std::map-based queue
+// survives behind QueuePolicy::kReferenceMap purely as a differential-test
+// and benchmark baseline, mirroring udg::build_udg_reference.
 #pragma once
 
 #include <cstdint>
@@ -24,7 +34,7 @@
 #include <memory>
 #include <span>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "geom/rng.h"
@@ -52,6 +62,15 @@ struct DelayModel {
   [[nodiscard]] bool is_unit() const {
     return min_delay == 1 && max_delay == 1;
   }
+};
+
+// Event-queue implementation selector.  kFlat is the production path; the
+// reference map reproduces the original per-delivery-allocating queue so
+// differential tests can prove both deliver in the same (time, seq) order
+// with identical RunStats, and benchmarks can quantify the gap.
+enum class QueuePolicy : std::uint8_t {
+  kFlat,          // pooled payloads + calendar/heap (default)
+  kReferenceMap,  // std::map of per-delivery Message copies (testing only)
 };
 
 class Runtime;
@@ -95,6 +114,8 @@ struct RunStats {
   SimTime completion_time = 0;              // paper's time complexity
   std::map<MessageType, std::uint64_t> per_type;
   bool quiescent = false;                   // false iff the budget tripped
+
+  friend bool operator==(const RunStats&, const RunStats&) = default;
 };
 
 class Runtime {
@@ -103,7 +124,8 @@ class Runtime {
 
   Runtime(const graph::Graph& g, const NodeFactory& factory,
           const DelayModel& delays = DelayModel::unit(),
-          obs::Recorder* recorder = nullptr);
+          obs::Recorder* recorder = nullptr,
+          QueuePolicy policy = QueuePolicy::kFlat);
 
   // Observability hook.  Null (the default) records nothing and keeps the
   // hot path at a single predicted branch per event, so benchmark timings
@@ -116,47 +138,119 @@ class Runtime {
   [[nodiscard]] obs::Recorder* recorder() const noexcept { return recorder_; }
 
   // Run until quiescence.  `max_events` guards against protocol bugs.
+  // Stats (including the metrics fold into the recorder) are produced even
+  // when the budget trips — those are exactly the runs worth inspecting.
   RunStats run(std::uint64_t max_events = 100'000'000);
 
   [[nodiscard]] const graph::Graph& topology() const { return graph_; }
   [[nodiscard]] ProtocolNode& node(NodeId u) { return *nodes_[u]; }
   [[nodiscard]] const ProtocolNode& node(NodeId u) const { return *nodes_[u]; }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] QueuePolicy queue_policy() const noexcept { return policy_; }
 
  private:
   friend class Context;
 
+  // POD event record; the payload lives once in the message pool no matter
+  // how many recipients a broadcast fans out to.
   struct PendingDelivery {
     SimTime time;
-    std::uint64_t seq;  // global send order; makes processing deterministic
+    std::uint64_t seq;   // global send order; makes processing deterministic
+    std::uint32_t slot;  // message pool slot (shared across a broadcast)
+    NodeId recipient;
+  };
+
+  // One interned transmission.  `refs` counts outstanding deliveries; the
+  // slot (and its payload capacity) is recycled when the last one lands.
+  struct PoolSlot {
+    Message message;
+    std::uint32_t refs = 0;
+  };
+
+  // Reference-policy event record: the original design, one full Message
+  // copy per recipient in a red-black-tree node.
+  struct RefPendingDelivery {
+    SimTime time;
+    std::uint64_t seq;
     Message message;
     NodeId recipient;
   };
 
   void send(NodeId src, SimTime now, NodeId dst, MessageType type,
             std::vector<std::uint32_t> payload);
+  void send_flat(NodeId src, SimTime now, NodeId dst, MessageType type,
+                 std::vector<std::uint32_t>&& payload);
+  void send_reference(NodeId src, SimTime now, NodeId dst, MessageType type,
+                      std::vector<std::uint32_t>&& payload);
+
+  // Pool bookkeeping (flat policy only).
+  [[nodiscard]] std::uint32_t acquire_slot(NodeId src, NodeId dst,
+                                           MessageType type,
+                                           std::vector<std::uint32_t>&& payload,
+                                           std::uint32_t refs);
+  void release_ref(std::uint32_t slot);
+
+  // Flat-queue primitives.
+  void enqueue_flat(const PendingDelivery& delivery);
+  void heap_push(const PendingDelivery& delivery);
+  [[nodiscard]] PendingDelivery heap_pop();
+
+  void count_type(MessageType type);
+
+  // Outstanding deliveries across whichever queue the policy selected.
+  [[nodiscard]] std::size_t queue_size() const;
 
   // Recording slow paths, only reached with a non-null recorder.
-  void record_send(const Message& msg, SimTime now);
-  void record_deliver(const PendingDelivery& delivery);
+  void record_send(NodeId src, NodeId dst, MessageType type, SimTime now);
+  void record_deliver(SimTime time, NodeId src, NodeId recipient,
+                      MessageType type);
   void record_run_stats();
 
   // Delivery time for one copy, honoring the delay model and per-link FIFO.
-  [[nodiscard]] SimTime schedule_delivery(NodeId src, NodeId recipient,
-                                          SimTime now);
+  // `link_slot` is the sender's directed CSR slot for the recipient
+  // (graph::Graph::edge_slot), indexing the flat link-clock vector.
+  [[nodiscard]] SimTime delivery_time(std::size_t link_slot, SimTime now);
+
+  // Fold the dense per-type counters into stats_ and record metrics; runs on
+  // both the quiescent and the budget-tripped exit path.
+  void finalize_stats(bool quiescent);
 
   const graph::Graph& graph_;
   std::vector<std::unique_ptr<ProtocolNode>> nodes_;
-  // Min-queue by (time, seq).  std::map of deque keeps insertion order per
-  // time step without a comparator on Message.
-  std::map<std::pair<SimTime, std::uint64_t>, PendingDelivery> queue_;
+  QueuePolicy policy_;
+
+  // Flat queue, unit-delay calendar: every in-flight delivery is due either
+  // at the time step being drained (bucket_now_[bucket_pos_..]) or one step
+  // later (bucket_next_, appended in send order == seq order).  swap() +
+  // clear() per step keeps the capacity, so steady state allocates nothing.
+  std::vector<PendingDelivery> bucket_now_;
+  std::vector<PendingDelivery> bucket_next_;
+  std::size_t bucket_pos_ = 0;
+
+  // Flat queue, async: binary min-heap over a contiguous vector, keyed by
+  // (time, seq).  seq is unique, so the order is total and deterministic.
+  std::vector<PendingDelivery> heap_;
+
+  // Message pool.  A deque gives stable references: a handler may broadcast
+  // (growing the pool) while it still reads the pooled message it was
+  // handed.
+  std::deque<PoolSlot> pool_;
+  std::vector<std::uint32_t> free_slots_;
+
+  // Reference policy: the original map keyed by (time, seq).
+  std::map<std::pair<SimTime, std::uint64_t>, RefPendingDelivery> ref_queue_;
+
   std::uint64_t send_seq_ = 0;
   RunStats stats_;
+  // Dense per-type transmission counters, folded into stats_.per_type at the
+  // end of run() (a map lookup per send is hot-path poison).
+  std::vector<std::uint64_t> per_type_counts_;
   bool ran_ = false;
   DelayModel delays_;
   geom::Xoshiro256ss delay_rng_;
-  // Last scheduled delivery per (src, recipient) link, for FIFO enforcement.
-  std::unordered_map<std::uint64_t, SimTime> link_clock_;
+  // Last scheduled delivery per directed link, indexed by the sender's CSR
+  // adjacency slot; only materialized under an async delay model.
+  std::vector<SimTime> link_clock_;
   obs::Recorder* recorder_ = nullptr;
   std::uint64_t max_queue_depth_ = 0;  // tracked only while recording
 };

@@ -5,6 +5,7 @@
 
 #include "graph/bfs.h"
 #include "graph/dijkstra.h"
+#include "parallel/thread_pool.h"
 
 namespace wcds::spanner {
 namespace {
@@ -21,6 +22,44 @@ std::vector<NodeId> sample_sources(std::size_t n, std::size_t max_sources) {
   }
   sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
   return sources;
+}
+
+// Per-source BFS passes are independent, so every analysis below computes
+// one partial per source into its own slot (parallel::parallel_for) and
+// merges the slots in source order.  The serial path is the same code with
+// one lane, so parallel and serial outputs are byte-identical: each
+// source's floating-point accumulation happens on one lane in index order,
+// and the cross-source reduction order is fixed.
+
+struct DilationPartial {
+  double ratio_sum = 0.0;
+  double max_ratio = 0.0;
+  std::int64_t max_slack = std::numeric_limits<std::int64_t>::min();
+  std::uint64_t pairs = 0;
+  bool all_reachable = true;
+};
+
+DilationPartial dilation_from_source(const graph::Graph& g,
+                                     const graph::Graph& spanner, NodeId u) {
+  DilationPartial partial;
+  const auto in_g = graph::bfs_distances(g, u);
+  const auto in_spanner = graph::bfs_distances(spanner, u);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == u || in_g[v] == kUnreachable || in_g[v] == 1) continue;
+    if (in_spanner[v] == kUnreachable) {
+      partial.all_reachable = false;
+      continue;
+    }
+    const double ratio = static_cast<double>(in_spanner[v]) /
+                         static_cast<double>(in_g[v]);
+    partial.max_ratio = std::max(partial.max_ratio, ratio);
+    partial.ratio_sum += ratio;
+    const std::int64_t slack = static_cast<std::int64_t>(in_spanner[v]) -
+                               (3 * static_cast<std::int64_t>(in_g[v]) + 2);
+    partial.max_slack = std::max(partial.max_slack, slack);
+    ++partial.pairs;
+  }
+  return partial;
 }
 
 }  // namespace
@@ -49,26 +88,19 @@ TopologicalDilationStats topological_dilation(const graph::Graph& g,
   if (spanner.node_count() != g.node_count()) {
     throw std::invalid_argument("topological_dilation: node count mismatch");
   }
+  const auto sources = sample_sources(g.node_count(), max_sources);
+  std::vector<DilationPartial> partials(sources.size());
+  parallel::parallel_for(0, sources.size(), 1, [&](std::size_t i) {
+    partials[i] = dilation_from_source(g, spanner, sources[i]);
+  });
   TopologicalDilationStats stats;
   double ratio_sum = 0.0;
-  for (NodeId u : sample_sources(g.node_count(), max_sources)) {
-    const auto in_g = graph::bfs_distances(g, u);
-    const auto in_spanner = graph::bfs_distances(spanner, u);
-    for (NodeId v = 0; v < g.node_count(); ++v) {
-      if (v == u || in_g[v] == kUnreachable || in_g[v] == 1) continue;
-      if (in_spanner[v] == kUnreachable) {
-        stats.all_reachable = false;
-        continue;
-      }
-      const double ratio = static_cast<double>(in_spanner[v]) /
-                           static_cast<double>(in_g[v]);
-      stats.max_ratio = std::max(stats.max_ratio, ratio);
-      ratio_sum += ratio;
-      const std::int64_t slack = static_cast<std::int64_t>(in_spanner[v]) -
-                                 (3 * static_cast<std::int64_t>(in_g[v]) + 2);
-      stats.max_slack = std::max(stats.max_slack, slack);
-      ++stats.pairs;
-    }
+  for (const DilationPartial& partial : partials) {
+    ratio_sum += partial.ratio_sum;
+    stats.max_ratio = std::max(stats.max_ratio, partial.max_ratio);
+    stats.max_slack = std::max(stats.max_slack, partial.max_slack);
+    stats.pairs += partial.pairs;
+    stats.all_reachable = stats.all_reachable && partial.all_reachable;
   }
   if (stats.pairs > 0) {
     stats.mean_ratio = ratio_sum / static_cast<double>(stats.pairs);
@@ -101,10 +133,13 @@ StretchDistribution topological_stretch_distribution(const graph::Graph& g,
     throw std::invalid_argument(
         "topological_stretch_distribution: bad bucket spec");
   }
-  StretchDistribution dist;
-  dist.width = bucket_width;
-  dist.buckets.assign(bucket_count, 0);
-  for (NodeId u : sample_sources(g.node_count(), max_sources)) {
+  const auto sources = sample_sources(g.node_count(), max_sources);
+  std::vector<StretchDistribution> partials(sources.size());
+  parallel::parallel_for(0, sources.size(), 1, [&](std::size_t i) {
+    StretchDistribution& partial = partials[i];
+    partial.width = bucket_width;
+    partial.buckets.assign(bucket_count, 0);
+    const NodeId u = sources[i];
     const auto in_g = graph::bfs_distances(g, u);
     const auto in_spanner = graph::bfs_distances(spanner, u);
     for (NodeId v = 0; v < g.node_count(); ++v) {
@@ -112,13 +147,23 @@ StretchDistribution topological_stretch_distribution(const graph::Graph& g,
       if (in_spanner[v] == kUnreachable) continue;
       const double ratio = static_cast<double>(in_spanner[v]) /
                            static_cast<double>(in_g[v]);
-      dist.max_ratio = std::max(dist.max_ratio, ratio);
+      partial.max_ratio = std::max(partial.max_ratio, ratio);
       const auto bucket = std::min(
           bucket_count - 1,
           static_cast<std::size_t>(std::max(0.0, ratio - 1.0) / bucket_width));
-      ++dist.buckets[bucket];
-      ++dist.pairs;
+      ++partial.buckets[bucket];
+      ++partial.pairs;
     }
+  });
+  StretchDistribution dist;
+  dist.width = bucket_width;
+  dist.buckets.assign(bucket_count, 0);
+  for (const StretchDistribution& partial : partials) {
+    for (std::size_t b = 0; b < bucket_count; ++b) {
+      dist.buckets[b] += partial.buckets[b];
+    }
+    dist.pairs += partial.pairs;
+    dist.max_ratio = std::max(dist.max_ratio, partial.max_ratio);
   }
   return dist;
 }
@@ -131,9 +176,18 @@ GeometricDilationStats geometric_dilation(const graph::Graph& g,
       points.size() != g.node_count()) {
     throw std::invalid_argument("geometric_dilation: size mismatch");
   }
-  GeometricDilationStats stats;
-  double ratio_sum = 0.0;
-  for (NodeId u : sample_sources(g.node_count(), max_sources)) {
+  const auto sources = sample_sources(g.node_count(), max_sources);
+  struct GeometricPartial {
+    double ratio_sum = 0.0;
+    double max_ratio = 0.0;
+    double max_slack = -std::numeric_limits<double>::infinity();
+    std::uint64_t pairs = 0;
+    bool all_reachable = true;
+  };
+  std::vector<GeometricPartial> partials(sources.size());
+  parallel::parallel_for(0, sources.size(), 1, [&](std::size_t i) {
+    GeometricPartial& partial = partials[i];
+    const NodeId u = sources[i];
     const auto hops_in_g = graph::bfs_distances(g, u);
     const auto len_in_g = graph::geometric_shortest_paths(g, points, u);
     const auto len_in_spanner =
@@ -141,18 +195,27 @@ GeometricDilationStats geometric_dilation(const graph::Graph& g,
     for (NodeId v = 0; v < g.node_count(); ++v) {
       if (v == u || hops_in_g[v] == kUnreachable || hops_in_g[v] == 1) continue;
       if (len_in_spanner[v] == graph::kInfiniteLength) {
-        stats.all_reachable = false;
+        partial.all_reachable = false;
         continue;
       }
       const double l = len_in_g[v];
       const double lp = len_in_spanner[v];
       if (l <= 0.0) continue;
       const double ratio = lp / l;
-      stats.max_ratio = std::max(stats.max_ratio, ratio);
-      ratio_sum += ratio;
-      stats.max_slack = std::max(stats.max_slack, lp - (6.0 * l + 5.0));
-      ++stats.pairs;
+      partial.max_ratio = std::max(partial.max_ratio, ratio);
+      partial.ratio_sum += ratio;
+      partial.max_slack = std::max(partial.max_slack, lp - (6.0 * l + 5.0));
+      ++partial.pairs;
     }
+  });
+  GeometricDilationStats stats;
+  double ratio_sum = 0.0;
+  for (const GeometricPartial& partial : partials) {
+    ratio_sum += partial.ratio_sum;
+    stats.max_ratio = std::max(stats.max_ratio, partial.max_ratio);
+    stats.max_slack = std::max(stats.max_slack, partial.max_slack);
+    stats.pairs += partial.pairs;
+    stats.all_reachable = stats.all_reachable && partial.all_reachable;
   }
   if (stats.pairs > 0) {
     stats.mean_ratio = ratio_sum / static_cast<double>(stats.pairs);

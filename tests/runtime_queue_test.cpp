@@ -1,0 +1,231 @@
+// Differential suite for the sim's two event-queue implementations
+// (docs/PERFORMANCE.md).
+//
+// The flat queue (pooled payloads + calendar/heap) must be observationally
+// identical to the reference std::map queue it replaced: the same delivery
+// sequence — every trace event's (kind, time, src, dst, type, queue depth) —
+// the same RunStats, and the same WCDS, across both algorithms, both delay
+// regimes and many seeds.  A counting-allocator test then pins down the
+// point of the exercise: the flat broadcast path performs no per-delivery
+// heap allocation.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "facade/build.h"
+#include "graph/graph.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+#include "protocols/algorithm1_protocol.h"
+#include "protocols/algorithm2_protocol.h"
+#include "sim/runtime.h"
+#include "test_util.h"
+
+// --- Counting global allocator -------------------------------------------
+//
+// Replacing the global operator new/delete in this TU lets one test count
+// exactly how many heap allocations Runtime::run performs.  Counting is
+// gated on a flag so the rest of the suite (and gtest itself) is unaffected.
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* ptr = std::malloc(size == 0 ? 1 : size)) return ptr;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+
+// --------------------------------------------------------------------------
+
+namespace {
+
+using namespace wcds;
+
+struct TracedRun {
+  sim::RunStats stats;
+  std::vector<obs::TraceEvent> events;
+  std::vector<NodeId> dominators;
+};
+
+TracedRun traced_run(const graph::Graph& g, bool alg1,
+                     const sim::DelayModel& delays, sim::QueuePolicy queue) {
+  obs::Recorder recorder;
+  obs::MemoryTraceSink sink;
+  recorder.set_trace_sink(&sink);
+  TracedRun out;
+  if (alg1) {
+    auto run = protocols::run_algorithm1(g, delays, &recorder, queue);
+    out.stats = run.stats;
+    out.dominators = run.wcds.dominators;
+  } else {
+    auto run = protocols::run_algorithm2(g, delays, &recorder, queue);
+    out.stats = run.stats;
+    out.dominators = run.wcds.dominators;
+  }
+  out.events = sink.events();
+  return out;
+}
+
+void expect_same_trace(const TracedRun& flat, const TracedRun& map) {
+  ASSERT_EQ(flat.events.size(), map.events.size());
+  for (std::size_t i = 0; i < flat.events.size(); ++i) {
+    const obs::TraceEvent& a = flat.events[i];
+    const obs::TraceEvent& b = map.events[i];
+    ASSERT_EQ(a.kind, b.kind) << "event " << i;
+    ASSERT_EQ(a.time, b.time) << "event " << i;
+    ASSERT_EQ(a.src, b.src) << "event " << i;
+    ASSERT_EQ(a.dst, b.dst) << "event " << i;
+    ASSERT_EQ(a.message_type, b.message_type) << "event " << i;
+    ASSERT_EQ(a.queue_depth, b.queue_depth) << "event " << i;
+  }
+  EXPECT_EQ(flat.stats, map.stats);
+  EXPECT_EQ(flat.dominators, map.dominators);
+}
+
+TEST(RuntimeQueueDifferential, FlatMatchesReferenceMapAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto inst = wcds::testing::connected_udg(150, 8.0, seed);
+    for (const bool alg1 : {true, false}) {
+      for (const bool async : {false, true}) {
+        const auto delays = async ? sim::DelayModel::uniform(1, 5, seed)
+                                  : sim::DelayModel::unit();
+        SCOPED_TRACE(::testing::Message()
+                     << "seed=" << seed << " alg1=" << alg1
+                     << " async=" << async);
+        const auto flat =
+            traced_run(inst.g, alg1, delays, sim::QueuePolicy::kFlat);
+        const auto map =
+            traced_run(inst.g, alg1, delays, sim::QueuePolicy::kReferenceMap);
+        expect_same_trace(flat, map);
+        EXPECT_TRUE(flat.stats.quiescent);
+      }
+    }
+  }
+}
+
+// All four facade build modes honor BuildOptions::queue_policy and yield the
+// same WCDS under either queue (central modes trivially — the sim never
+// runs; protocol modes are where the policies must agree).
+TEST(RuntimeQueueDifferential, FacadeModesAgreeAcrossQueuePolicies) {
+  const auto inst = wcds::testing::connected_udg(120, 8.0, 3);
+  for (const auto algorithm :
+       {core::BuildAlgorithm::kAlgorithm1Central,
+        core::BuildAlgorithm::kAlgorithm2Central,
+        core::BuildAlgorithm::kAlgorithm1Protocol,
+        core::BuildAlgorithm::kAlgorithm2Protocol}) {
+    SCOPED_TRACE(core::to_string(algorithm));
+    core::BuildOptions options;
+    options.algorithm = algorithm;
+    options.queue_policy = sim::QueuePolicy::kFlat;
+    const auto flat = core::build(inst.g, options);
+    options.queue_policy = sim::QueuePolicy::kReferenceMap;
+    const auto map = core::build(inst.g, options);
+    EXPECT_EQ(flat.result.dominators, map.result.dominators);
+    EXPECT_EQ(flat.stats, map.stats);
+  }
+}
+
+// A protocol that floods forever: every node broadcasts on start; every
+// delivery triggers one more broadcast.  Used to trip the event budget and
+// to count allocations on the broadcast hot path.
+class ChatterNode final : public sim::ProtocolNode {
+ public:
+  void on_start(sim::Context& ctx) override { ctx.broadcast(1); }
+  void on_receive(sim::Context& ctx, const sim::Message&) override {
+    ctx.broadcast(1);
+  }
+};
+
+TEST(RuntimeQueue, BudgetTripStillFoldsStatsAndRecordsQuiescentGauge) {
+  const graph::Graph g = graph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  for (const auto policy :
+       {sim::QueuePolicy::kFlat, sim::QueuePolicy::kReferenceMap}) {
+    obs::Recorder recorder;
+    sim::Runtime rt(
+        g, [](NodeId) { return std::make_unique<ChatterNode>(); },
+        sim::DelayModel::unit(), &recorder, policy);
+    const auto stats = rt.run(/*max_events=*/100);
+    EXPECT_FALSE(stats.quiescent);
+    EXPECT_EQ(stats.deliveries, 100u);
+    // The budget-tripped run still folds the dense counters into per_type
+    // and the metrics into the recorder (the pre-fix code skipped both).
+    ASSERT_TRUE(stats.per_type.contains(1));
+    EXPECT_GT(stats.per_type.at(1), 0u);
+    const auto snapshot = recorder.snapshot();
+    ASSERT_TRUE(snapshot.gauges.contains("sim/quiescent"));
+    EXPECT_EQ(snapshot.gauges.at("sim/quiescent"), 0.0);
+    EXPECT_EQ(snapshot.counters.at("sim/transmissions"),
+              stats.transmissions);
+  }
+}
+
+TEST(RuntimeQueue, QuiescentRunRecordsGaugeOne) {
+  const auto inst = wcds::testing::connected_udg(40, 8.0, 1);
+  obs::Recorder recorder;
+  const auto run = protocols::run_algorithm2(inst.g, sim::DelayModel::unit(),
+                                             &recorder);
+  EXPECT_TRUE(run.stats.quiescent);
+  const auto snapshot = recorder.snapshot();
+  ASSERT_TRUE(snapshot.gauges.contains("sim/quiescent"));
+  EXPECT_EQ(snapshot.gauges.at("sim/quiescent"), 1.0);
+}
+
+// The point of the pooled flat queue: a degree-d broadcast enqueues d POD
+// records sharing one interned payload, so a full run performs only the
+// amortized container growth — far fewer allocations than deliveries.  The
+// reference map allocates at least one tree node per delivery.
+TEST(RuntimeQueue, BroadcastPathAllocationCount) {
+  // Star K_{1,512}: the hub's single broadcast fans out to 512 recipients.
+  constexpr std::uint32_t kLeaves = 512;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(kLeaves);
+  for (NodeId leaf = 1; leaf <= kLeaves; ++leaf) edges.push_back({0, leaf});
+  const graph::Graph g = graph::from_edges(kLeaves + 1, edges);
+
+  // Every node broadcasts once on start; nobody replies.  Deliveries:
+  // 512 (hub's broadcast) + 512 (each leaf's broadcast reaching the hub).
+  class OneShotNode final : public sim::ProtocolNode {
+   public:
+    void on_start(sim::Context& ctx) override { ctx.broadcast(1); }
+    void on_receive(sim::Context&, const sim::Message&) override {}
+  };
+
+  auto count_allocs = [&](sim::QueuePolicy policy) {
+    sim::Runtime rt(
+        g, [](NodeId) { return std::make_unique<OneShotNode>(); },
+        sim::DelayModel::unit(), nullptr, policy);
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+    const auto stats = rt.run();
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    EXPECT_EQ(stats.deliveries, 2u * kLeaves);
+    return g_alloc_count.load(std::memory_order_relaxed);
+  };
+
+  const std::uint64_t flat_allocs = count_allocs(sim::QueuePolicy::kFlat);
+  const std::uint64_t map_allocs =
+      count_allocs(sim::QueuePolicy::kReferenceMap);
+  // Flat: pool-deque blocks, calendar-bucket doublings, the per-type vector —
+  // all amortized, orders of magnitude below the 1024 deliveries.
+  EXPECT_LT(flat_allocs, 100u);
+  // Reference map: >= one node allocation per pending delivery.
+  EXPECT_GT(map_allocs, 1000u);
+}
+
+}  // namespace
