@@ -1,0 +1,88 @@
+// Annotated synchronization primitives for clang's thread-safety analysis.
+//
+// std::mutex carries no capability attributes under libstdc++, so the
+// analysis cannot track it.  These zero-overhead wrappers forward to the std
+// primitives and add the annotations:
+//
+//   base::Mutex mu;                         // WCDS_CAPABILITY("mutex")
+//   int value WCDS_GUARDED_BY(mu);
+//   {
+//     base::MutexLock lock(mu);             // scoped acquire/release
+//     ++value;                              // statically proven safe
+//   }
+//
+// CondVar wraps std::condition_variable with a wait(Mutex&) that the
+// analysis sees as "mutex held throughout" (the internal release/reacquire
+// is invisible to it, which matches how guarded state may be used around a
+// wait).  Spurious wakeups are possible as usual — always wait in a loop
+// that retests the predicate under the lock.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "base/thread_annotations.h"
+
+namespace wcds::base {
+
+class CondVar;
+
+// Exclusive lock; wraps std::mutex 1:1.
+class WCDS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() WCDS_ACQUIRE() { mu_.lock(); }
+  void unlock() WCDS_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() WCDS_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Scoped lock (std::lock_guard with the scoped-capability annotation).
+class WCDS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) WCDS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() WCDS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to base::Mutex.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mu`, blocks, and reacquires before returning.  The
+  // caller must hold `mu` (and does again on return), so from the analysis's
+  // point of view the lock is held across the call.
+  void wait(Mutex& mu) WCDS_REQUIRES(mu) {
+    // Adopt the already-held native mutex so std::condition_variable can do
+    // the atomic unlock-and-wait, then hand ownership straight back.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace wcds::base

@@ -1,0 +1,89 @@
+// Clang thread-safety-analysis annotation macros (Abseil/Chromium style).
+//
+// Annotating which mutex guards which member lets clang *prove* lock
+// discipline at compile time: `-Wthread-safety` (enabled together with
+// -Werror for every Clang build by the top-level CMakeLists, and exercised
+// by the `clang` preset / CI job) rejects any access to a WCDS_GUARDED_BY
+// member outside its mutex, any unbalanced WCDS_ACQUIRE/WCDS_RELEASE pair,
+// and any call that violates a WCDS_REQUIRES contract.  This is the static
+// complement to the dynamic tsan preset: tsan needs a schedule that trips
+// the race, the analysis needs none.
+//
+// The attributes only exist on clang; every macro expands to nothing on
+// other compilers, so gcc builds are unaffected.
+//
+// The capability model wants annotated lock types; std::mutex is not
+// annotated under libstdc++, so lock-discipline-checked code uses the
+// wcds::base::Mutex / MutexLock / CondVar wrappers (src/base/mutex.h)
+// instead of the std primitives.
+#pragma once
+
+#if defined(__clang__)
+#define WCDS_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define WCDS_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op off clang
+#endif
+
+// Type annotations -----------------------------------------------------------
+
+// Marks a class as a lockable capability ("mutex" names the capability kind
+// in diagnostics).
+#define WCDS_CAPABILITY(x) WCDS_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+// Marks an RAII class whose lifetime acquires/releases a capability.
+#define WCDS_SCOPED_CAPABILITY \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+// Member annotations ---------------------------------------------------------
+
+// Data member readable/writable only while holding `x`.
+#define WCDS_GUARDED_BY(x) WCDS_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+// Pointer member whose *pointee* is protected by `x`.
+#define WCDS_PT_GUARDED_BY(x) \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+// Lock-ordering declarations (deadlock prevention).
+#define WCDS_ACQUIRED_BEFORE(...) \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define WCDS_ACQUIRED_AFTER(...) \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+// Function annotations -------------------------------------------------------
+
+// Caller must hold the capability (exclusively / shared) on entry and exit.
+#define WCDS_REQUIRES(...) \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define WCDS_REQUIRES_SHARED(...) \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires / releases the capability.
+#define WCDS_ACQUIRE(...) \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define WCDS_ACQUIRE_SHARED(...) \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#define WCDS_RELEASE(...) \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define WCDS_RELEASE_SHARED(...) \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+// Function tries to acquire; first argument is the success return value.
+#define WCDS_TRY_ACQUIRE(...) \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+// Caller must NOT hold the capability (non-reentrancy contract).
+#define WCDS_EXCLUDES(...) \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+// Function returns a reference to the named capability.
+#define WCDS_RETURN_CAPABILITY(x) \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+// Runtime assertion that the capability is held (no static proof needed).
+#define WCDS_ASSERT_CAPABILITY(x) \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+// Escape hatch: disables the analysis for one function.  Use only with a
+// comment explaining why the discipline cannot be expressed.
+#define WCDS_NO_THREAD_SAFETY_ANALYSIS \
+  WCDS_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)

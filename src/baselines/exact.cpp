@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/audit.h"
 #include "graph/bfs.h"
 #include "graph/subgraph.h"
 #include "wcds/verify.h"
@@ -191,7 +192,10 @@ std::size_t domination_lower_bound(const graph::Graph& g) {
 }
 
 std::size_t udg_mwcds_lower_bound(std::size_t mis_size) {
-  return (mis_size + 4) / 5;
+  // Lemma 1: a dominator covers at most kLemma1MaxMisNeighbors MIS nodes, so
+  // any WCDS needs at least ceil(|MIS| / kLemma1MaxMisNeighbors) nodes.
+  return (mis_size + check::kLemma1MaxMisNeighbors - 1) /
+         check::kLemma1MaxMisNeighbors;
 }
 
 }  // namespace wcds::baselines

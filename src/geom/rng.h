@@ -45,6 +45,7 @@ class Xoshiro256ss {
   }
 
   constexpr result_type operator()() {
+    // xoshiro256** reference multipliers.  wcds-lint: allow(paper-constant)
     const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
     const std::uint64_t t = s_[1] << 17;
     s_[2] ^= s_[0];

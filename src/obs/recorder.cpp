@@ -1,18 +1,20 @@
 #include "obs/recorder.h"
 
+#include <atomic>
+
 namespace wcds::obs {
 namespace {
 
-Recorder* g_recorder = nullptr;
+// Atomic so concurrent readers (recorder_or_global on worker threads) never
+// race an install; swapping while a run is recording is still a logic error.
+std::atomic<Recorder*> g_recorder{nullptr};
 
 }  // namespace
 
-Recorder* global_recorder() noexcept { return g_recorder; }
+Recorder* global_recorder() noexcept { return g_recorder.load(); }
 
 Recorder* set_global_recorder(Recorder* recorder) noexcept {
-  Recorder* previous = g_recorder;
-  g_recorder = recorder;
-  return previous;
+  return g_recorder.exchange(recorder);
 }
 
 PhaseTimer::PhaseTimer(Recorder* recorder, std::string_view name)

@@ -36,8 +36,9 @@ class Recorder {
 };
 
 // Process-global recorder; null (the default) disables ambient recording.
-// Not thread-safe against concurrent swaps — install at quiescent points
-// (program start, bench harness setup).
+// The pointer swap is atomic, but recording through a recorder that another
+// thread is uninstalling is still a logic error — install at quiescent
+// points (program start, bench harness setup).
 [[nodiscard]] Recorder* global_recorder() noexcept;
 Recorder* set_global_recorder(Recorder* recorder) noexcept;  // returns old
 

@@ -40,8 +40,8 @@ struct ThreadPool::Job {
   std::size_t grain;
   const std::function<void(std::size_t)>* fn;
   std::atomic<bool> failed{false};
-  std::exception_ptr exception;  // first failure; guarded by exception_mutex
-  std::mutex exception_mutex;
+  base::Mutex exception_mutex;
+  std::exception_ptr exception WCDS_GUARDED_BY(exception_mutex);  // first failure
 };
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -54,7 +54,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const base::MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -71,7 +71,7 @@ void ThreadPool::drain(Job& job) {
     try {
       for (std::size_t i = first; i < last; ++i) (*job.fn)(i);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(job.exception_mutex);
+      const base::MutexLock lock(job.exception_mutex);
       if (!job.failed.exchange(true, std::memory_order_relaxed)) {
         job.exception = std::current_exception();
       }
@@ -85,10 +85,14 @@ void ThreadPool::worker_loop() {
   while (true) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && job_generation_ != seen_generation);
-      });
+      const base::MutexLock lock(mutex_);
+      // Explicit predicate loop (not a wait-with-lambda): the guarded reads
+      // stay in this annotated scope where the analysis can prove mutex_ is
+      // held.
+      while (!stop_ &&
+             (job_ == nullptr || job_generation_ == seen_generation)) {
+        wake_.wait(mutex_);
+      }
       if (stop_) return;
       seen_generation = job_generation_;
       job = job_;
@@ -96,7 +100,7 @@ void ThreadPool::worker_loop() {
     }
     drain(*job);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const base::MutexLock lock(mutex_);
       --workers_active_;
     }
     done_.notify_one();
@@ -120,7 +124,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   job.grain = grain;
   job.fn = &fn;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const base::MutexLock lock(mutex_);
     WCDS_REQUIRE_STATE(job_ == nullptr,
                        "parallel_for: reentrant call on the same pool");
     job_ = &job;
@@ -129,16 +133,21 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   wake_.notify_all();
   drain(job);  // the caller is a lane too
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] { return workers_active_ == 0; });
+    const base::MutexLock lock(mutex_);
+    while (workers_active_ != 0) done_.wait(mutex_);
     job_ = nullptr;
   }
-  if (job.exception) std::rethrow_exception(job.exception);
+  std::exception_ptr failure;
+  {
+    const base::MutexLock lock(job.exception_mutex);
+    failure = job.exception;
+  }
+  if (failure) std::rethrow_exception(failure);
 }
 
 namespace {
 
-ThreadPool* g_pool_override = nullptr;
+std::atomic<ThreadPool*> g_pool_override{nullptr};
 
 }  // namespace
 
@@ -148,15 +157,13 @@ ThreadPool& global_pool() {
 }
 
 ThreadPool* set_global_pool(ThreadPool* pool) noexcept {
-  ThreadPool* previous = g_pool_override;
-  g_pool_override = pool;
-  return previous;
+  return g_pool_override.exchange(pool);
 }
 
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                   const std::function<void(std::size_t)>& fn) {
-  if (g_pool_override != nullptr) {
-    g_pool_override->parallel_for(begin, end, grain, fn);
+  if (ThreadPool* pool = g_pool_override.load()) {
+    pool->parallel_for(begin, end, grain, fn);
     return;
   }
   // Serial fast path that never materializes the pool: a one-thread

@@ -14,13 +14,15 @@
 // WCDS_THREADS environment variable, else std::thread::hardware_concurrency.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/mutex.h"
+#include "base/thread_annotations.h"
 
 namespace wcds::parallel {
 
@@ -50,22 +52,23 @@ class ThreadPool {
   // rethrown here (remaining chunks are abandoned).  Not reentrant: fn must
   // not call parallel_for on the same pool.
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn)
+      WCDS_EXCLUDES(mutex_);
 
  private:
   struct Job;
 
-  void worker_loop();
+  void worker_loop() WCDS_EXCLUDES(mutex_);
   static void drain(Job& job);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;       // workers wait for a job or stop
-  std::condition_variable done_;       // caller waits for workers to finish
-  Job* job_ = nullptr;                 // guarded by mutex_
-  std::uint64_t job_generation_ = 0;   // guarded by mutex_
-  std::size_t workers_active_ = 0;     // guarded by mutex_
-  bool stop_ = false;                  // guarded by mutex_
+  base::Mutex mutex_;
+  base::CondVar wake_;  // workers wait for a job or stop
+  base::CondVar done_;  // caller waits for workers to finish
+  Job* job_ WCDS_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t job_generation_ WCDS_GUARDED_BY(mutex_) = 0;
+  std::size_t workers_active_ WCDS_GUARDED_BY(mutex_) = 0;
+  bool stop_ WCDS_GUARDED_BY(mutex_) = false;
 };
 
 // Process-wide pool, created on first use with default_thread_count()
@@ -73,8 +76,9 @@ class ThreadPool {
 [[nodiscard]] ThreadPool& global_pool();
 
 // Install `pool` as the pool parallel_for() below uses; returns the previous
-// override (null = use the lazy global pool).  For tests; not thread-safe
-// against concurrent parallel_for calls.
+// override (null = use the lazy global pool).  The swap itself is atomic,
+// but callers must still quiesce their own parallel_for calls before
+// destroying the previously installed pool.
 ThreadPool* set_global_pool(ThreadPool* pool) noexcept;
 
 // RAII form of set_global_pool for test scopes.

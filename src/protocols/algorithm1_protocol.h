@@ -35,12 +35,13 @@
 
 namespace wcds::protocols {
 
+// Enumerator values are stable wire/stats ids, not packing constants.
 enum Algorithm1MessageType : sim::MessageType {
   kMsgCandidate = 20,   // broadcast [cid]
   kMsgResp = 21,        // unicast   [cid, joined]
   kMsgCompleteA = 22,   // unicast   [cid]
-  kMsgLevel = 23,       // broadcast [level]
-  kMsgCompleteB = 24,   // unicast   []
+  kMsgLevel = 23,       // broadcast [level]   wcds-lint: allow(paper-constant)
+  kMsgCompleteB = 24,   // unicast   []        wcds-lint: allow(paper-constant)
   kMsgBlack = 25,       // broadcast []
   kMsgGrayI = 26,       // broadcast []
 };

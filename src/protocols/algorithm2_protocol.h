@@ -49,7 +49,7 @@ enum Algorithm2MessageType : sim::MessageType {
   kMsgGray = 2,
   kMsgOneHopDoms = 3,
   kMsgTwoHopDoms = 4,
-  kMsgSelection = 5,
+  kMsgSelection = 5,  // stable wire id  wcds-lint: allow(paper-constant)
   kMsgAdditionalDominator = 6,
   kMsgAdditionalForward = 7,
 };

@@ -5,6 +5,13 @@
 
 namespace wcds::protocols {
 
+const char* mis_maintenance_message_name(sim::MessageType type) {
+  switch (type) {
+    case kMsgColor: return "COLOR";
+    default: return "?";
+  }
+}
+
 void MisMaintenanceNode::on_start(sim::DynamicContext& ctx) {
   // Announce white so lower-ID-complete knowledge can accumulate; a node
   // with no lower-ID neighbors promotes immediately through reevaluate.

@@ -40,6 +40,9 @@ enum MisMaintenanceMessageType : sim::MessageType {
   kMsgColor = 60,  // payload: [color]
 };
 
+// Trace name for a MisMaintenanceMessageType value ("?" when unknown).
+[[nodiscard]] const char* mis_maintenance_message_name(sim::MessageType type);
+
 class MisMaintenanceNode final : public sim::DynamicProtocolNode {
  public:
   enum class Color : std::uint32_t { kWhite = 0, kGray = 1, kBlack = 2 };

@@ -6,6 +6,14 @@
 #include "check/check.h"
 
 namespace wcds::protocols {
+
+const char* routing_message_name(sim::MessageType type) {
+  switch (type) {
+    case kMsgData: return "DATA";
+    default: return "?";
+  }
+}
+
 namespace {
 
 // Shared instrumentation: the per-flow trail and delivery flags the harness

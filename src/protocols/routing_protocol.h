@@ -33,6 +33,9 @@ enum RoutingMessageType : sim::MessageType {
   kMsgData = 40,  // payload: [flow, dst, remaining_budget]
 };
 
+// Trace name for a RoutingMessageType value ("?" when unknown).
+[[nodiscard]] const char* routing_message_name(sim::MessageType type);
+
 struct FlowRequest {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;

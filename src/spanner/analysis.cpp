@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/audit.h"
 #include "graph/bfs.h"
 #include "graph/dijkstra.h"
 #include "parallel/thread_pool.h"
@@ -54,8 +55,11 @@ DilationPartial dilation_from_source(const graph::Graph& g,
                          static_cast<double>(in_g[v]);
     partial.max_ratio = std::max(partial.max_ratio, ratio);
     partial.ratio_sum += ratio;
-    const std::int64_t slack = static_cast<std::int64_t>(in_spanner[v]) -
-                               (3 * static_cast<std::int64_t>(in_g[v]) + 2);
+    const std::int64_t slack =
+        static_cast<std::int64_t>(in_spanner[v]) -
+        (static_cast<std::int64_t>(check::kTheorem11Multiplier) *
+             static_cast<std::int64_t>(in_g[v]) +
+         static_cast<std::int64_t>(check::kTheorem11Additive));
     partial.max_slack = std::max(partial.max_slack, slack);
     ++partial.pairs;
   }
@@ -77,7 +81,9 @@ SparsenessStats sparseness(const graph::Graph& g, const graph::Graph& spanner,
   }
   if (!wcds.mis_dominators.empty()) {
     const std::size_t gray = stats.nodes - wcds.dominators.size();
-    stats.theorem10_bound = 9 * gray + 47 * wcds.mis_dominators.size();
+    stats.theorem10_bound = check::kTheorem10GrayFactor * gray +
+                            check::kTheorem10MisFactor *
+                                wcds.mis_dominators.size();
   }
   return stats;
 }

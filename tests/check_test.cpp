@@ -2,8 +2,11 @@
 // types, and the audit runtime switch.
 #include "check/check.h"
 
+#include <atomic>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -101,6 +104,53 @@ TEST(CheckAudits, RuntimeSwitchRoundTrips) {
   set_audits_enabled(true);
   EXPECT_TRUE(audits_enabled());
   set_audits_enabled(was);
+}
+
+TEST(CheckHandler, ConcurrentInstallAndFireIsDataRaceFree) {
+  // The handler and audit-switch globals are atomics: installing from one
+  // thread while others fire checks or flip audits must be race-free (this
+  // is what the tsan preset pins down).  Every handler in rotation throws,
+  // so each failing check surfaces as CheckError regardless of which
+  // install won.
+  const FailureHandler previous = failure_handler();
+  const bool audits_were = audits_enabled();
+  static std::atomic<int> custom_calls{0};
+  const FailureHandler custom = +[](const FailureContext& context) {
+    custom_calls.fetch_add(1, std::memory_order_relaxed);
+    throw CheckError(format_failure(context));
+  };
+
+  constexpr int kIterations = 500;
+  std::atomic<int> caught{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        set_failure_handler(t == 0 ? &throw_handler : custom);
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIterations; ++i) {
+      set_audits_enabled(i % 2 == 0);
+      (void)audits_enabled();
+    }
+  });
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIterations; ++i) {
+      try {
+        WCDS_CHECK(false, "concurrent");
+      } catch (const CheckError&) {
+        caught.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(caught.load(), kIterations);
+  set_failure_handler(previous);
+  set_audits_enabled(audits_were);
 }
 
 TEST(CheckFormat, FormatFailureIsStable) {

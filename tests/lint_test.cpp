@@ -1,0 +1,354 @@
+// wcds_lint engine tests: the lexer's channel separation, every rule firing
+// on a seeded violation with the exact rule id and line, and every rule
+// honoring a `wcds-lint: allow(...)` suppression.
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace wcds::lint {
+namespace {
+
+std::vector<Diagnostic> lint_one(const std::string& path,
+                                 const std::string& content,
+                                 Config config = {}) {
+  Linter linter(std::move(config));
+  linter.add_file(path, content);
+  return linter.run();
+}
+
+bool has(const std::vector<Diagnostic>& diags, const std::string& rule,
+         int line) {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.rule == rule && d.line == line;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+TEST(LintLexer, BlanksCommentsInCodeChannel) {
+  const SourceFile file =
+      annotate_source("src/a.cpp", "int x; // assert(x) in prose\n");
+  ASSERT_EQ(file.code.size(), 1u);
+  EXPECT_EQ(file.code[0].find("assert"), std::string::npos);
+  EXPECT_NE(file.raw[0].find("assert"), std::string::npos);
+  // Channels stay column-aligned.
+  EXPECT_EQ(file.code[0].size(), file.raw[0].size());
+  EXPECT_EQ(file.pure[0].size(), file.raw[0].size());
+}
+
+TEST(LintLexer, BlanksStringContentsOnlyInPureChannel) {
+  const SourceFile file =
+      annotate_source("src/a.cpp", "auto s = \"assert(47)\";\n");
+  EXPECT_NE(file.code[0].find("assert(47)"), std::string::npos);
+  EXPECT_EQ(file.pure[0].find("assert"), std::string::npos);
+  EXPECT_EQ(file.pure[0].find("47"), std::string::npos);
+}
+
+TEST(LintLexer, MultiLineBlockCommentBlanked) {
+  const SourceFile file =
+      annotate_source("src/a.cpp", "/* new\n   std::map */ int y;\n");
+  EXPECT_EQ(file.pure[0].find("new"), std::string::npos);
+  EXPECT_EQ(file.pure[1].find("std::map"), std::string::npos);
+  EXPECT_NE(file.pure[1].find("int y;"), std::string::npos);
+}
+
+TEST(LintLexer, DigitSeparatorIsNotACharLiteral) {
+  // If the ' opened a char literal, the rest of the line would be blanked
+  // out of the pure channel.
+  const SourceFile file =
+      annotate_source("src/a.cpp", "auto n = 100'000; int z = 1;\n");
+  EXPECT_NE(file.pure[0].find("int z = 1;"), std::string::npos);
+}
+
+TEST(LintLexer, ParsesSuppressionsPerLine) {
+  const SourceFile file = annotate_source(
+      "src/a.cpp",
+      "int a;  // wcds-lint: allow(rule-a, rule-b)\n"
+      "// wcds-lint: allow(rule-c)\n"
+      "int b;\n");
+  ASSERT_EQ(file.allowed.size(), 3u);
+  EXPECT_EQ(file.allowed[0].count("rule-a"), 1u);
+  EXPECT_EQ(file.allowed[0].count("rule-b"), 1u);
+  // A comment-only line covers the next line too.
+  EXPECT_EQ(file.allowed[1].count("rule-c"), 1u);
+  EXPECT_EQ(file.allowed[2].count("rule-c"), 1u);
+  EXPECT_EQ(file.allowed[2].count("rule-a"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// no-bare-assert
+
+TEST(LintRules, NoBareAssertFires) {
+  const auto diags = lint_one("src/a.cpp",
+                              "#include <cassert>\n"
+                              "void f(int x) {\n"
+                              "  assert(x > 0);\n"
+                              "}\n");
+  EXPECT_TRUE(has(diags, "no-bare-assert", 3));
+}
+
+TEST(LintRules, NoBareAssertIgnoresCommentsStringsAndOtherTrees) {
+  EXPECT_TRUE(lint_one("src/a.cpp", "// assert(x)\n").empty());
+  EXPECT_TRUE(lint_one("src/a.cpp", "auto s = \"assert(x)\";\n").empty());
+  EXPECT_TRUE(lint_one("src/a.cpp", "int my_assert_count = 0;\n").empty());
+  // Only src/ must route through the contract macros.
+  EXPECT_TRUE(lint_one("bench/a.cpp", "void f() { assert(1); }\n").empty());
+}
+
+TEST(LintRules, NoBareAssertSuppressed) {
+  const auto diags = lint_one(
+      "src/a.cpp", "void f() { std::abort(); }  // wcds-lint: allow(no-bare-assert)\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// paper-constant
+
+TEST(LintRules, PaperConstantFires) {
+  const auto diags = lint_one("src/wcds/a.cpp",
+                              "int bound(int mis) {\n"
+                              "  return 47 * mis;\n"
+                              "}\n");
+  EXPECT_TRUE(has(diags, "paper-constant", 2));
+}
+
+TEST(LintRules, PaperConstantSkipsNonMatchingLiterals) {
+  // 470, 4.7, 0x47-as-word, 5u-suffix boundary handling: none of these are
+  // the bare packing literals.
+  const auto diags = lint_one("src/a.cpp",
+                              "int a = 470;\n"
+                              "double b = 4.7;\n"
+                              "double c = 23.5;\n"
+                              "int d = 247;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRules, PaperConstantExemptFilesAndSuppression) {
+  EXPECT_TRUE(
+      lint_one("src/check/audit.h", "#pragma once\nint k = 47;\n").empty());
+  EXPECT_TRUE(
+      lint_one("src/a.cpp", "int k = 47;  // wcds-lint: allow(paper-constant)\n")
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// hot-path-alloc
+
+TEST(LintRules, HotPathAllocFires) {
+  Config config;
+  config.hot_path_files = {"src/sim/hot.cpp"};
+  const auto diags = lint_one("src/sim/hot.cpp",
+                              "#include <map>\n"
+                              "std::map<int, int> m;\n"
+                              "int* p = new int;\n",
+                              config);
+  EXPECT_TRUE(has(diags, "hot-path-alloc", 2));
+  EXPECT_TRUE(has(diags, "hot-path-alloc", 3));
+}
+
+TEST(LintRules, HotPathAllocOnlyGuardsListedFiles) {
+  Config config;
+  config.hot_path_files = {"src/sim/hot.cpp"};
+  EXPECT_TRUE(
+      lint_one("src/sim/cold.cpp", "std::map<int, int> m;\n", config).empty());
+}
+
+TEST(LintRules, HotPathAllocSuppressed) {
+  Config config;
+  config.hot_path_files = {"src/sim/hot.cpp"};
+  const auto diags = lint_one(
+      "src/sim/hot.cpp",
+      "std::map<int, int> m;  // wcds-lint: allow(hot-path-alloc)\n", config);
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// message-type-registry
+
+TEST(LintRules, MessageTypeRegistryFires) {
+  const auto diags = lint_one("src/protocols/p.h",
+                              "enum DemoMessageType : sim::MessageType {\n"
+                              "  kMsgPing = 1,  // wcds-lint: allow(paper-constant)\n"
+                              "  kMsgPong = 2,\n"
+                              "};\n"
+                              "const char* demo_message_name(sim::MessageType t) {\n"
+                              "  switch (t) {\n"
+                              "    case kMsgPing: return \"PING\";\n"
+                              "    default: return \"?\";\n"
+                              "  }\n"
+                              "}\n");
+  // kMsgPing has a trace-name entry; kMsgPong does not.
+  EXPECT_FALSE(has(diags, "message-type-registry", 2));
+  EXPECT_TRUE(has(diags, "message-type-registry", 3));
+}
+
+TEST(LintRules, MessageTypeRegistrySeesCrossFileCases) {
+  Linter linter;
+  linter.add_file("src/protocols/p.h",
+                  "#pragma once\n"
+                  "enum DemoMessageType : sim::MessageType {\n"
+                  "  kMsgPing = 1,  // wcds-lint: allow(paper-constant)\n"
+                  "};\n");
+  linter.add_file("src/protocols/p.cpp",
+                  "const char* demo_message_name(sim::MessageType t) {\n"
+                  "  switch (t) {\n"
+                  "    case kMsgPing:\n"
+                  "      return \"PING\";\n"
+                  "    default: return \"?\";\n"
+                  "  }\n"
+                  "}\n");
+  EXPECT_TRUE(linter.run().empty());
+}
+
+TEST(LintRules, MessageTypeRegistrySuppressed) {
+  const auto diags =
+      lint_one("src/protocols/p.h",
+               "#pragma once\n"
+               "enum DemoMessageType : sim::MessageType {\n"
+               "  kMsgSecret = 9,  // wcds-lint: allow(message-type-registry)\n"
+               "};\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// metric-doc-sync
+
+TEST(LintRules, MetricDocSyncFires) {
+  Config config;
+  config.observability_doc = "Registry: `demo/documented` only.\n";
+  const auto diags = lint_one("src/wcds/a.cpp",
+                              "void f(obs::Recorder* r) {\n"
+                              "  r->metrics().add(\"demo/documented\", 1);\n"
+                              "  r->metrics().add(\"demo/missing\", 1);\n"
+                              "}\n",
+                              config);
+  EXPECT_FALSE(has(diags, "metric-doc-sync", 2));
+  EXPECT_TRUE(has(diags, "metric-doc-sync", 3));
+}
+
+TEST(LintRules, MetricDocSyncPlaceholderFamilyAndPhaseTimer) {
+  Config config;
+  config.observability_doc =
+      "Families: `demo/per_type/<k>` and `phase_ms/<phase>`.\n";
+  const auto diags =
+      lint_one("src/wcds/a.cpp",
+               "void f(obs::Recorder* r) {\n"
+               "  r->metrics().add(\"demo/per_type/3\", 1);\n"
+               "  obs::PhaseTimer timer(r, \"demo/total\");\n"
+               "}\n",
+               config);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRules, MetricDocSyncSuppressedAndDisabledWithoutDoc) {
+  Config config;
+  config.observability_doc = "nothing documented\n";
+  const auto diags = lint_one(
+      "src/wcds/a.cpp",
+      "void f(obs::Recorder* r) {\n"
+      "  r->metrics().add(\"demo/adhoc\", 1);  // wcds-lint: allow(metric-doc-sync)\n"
+      "}\n",
+      config);
+  EXPECT_TRUE(diags.empty());
+  // An empty doc (partial checkout) disables the rule entirely.
+  Config no_doc;
+  no_doc.observability_doc.clear();
+  EXPECT_TRUE(lint_one("src/wcds/a.cpp",
+                       "void f(obs::Recorder* r) {\n"
+                       "  r->metrics().add(\"demo/adhoc\", 1);\n"
+                       "}\n",
+                       no_doc)
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// pragma-once
+
+TEST(LintRules, PragmaOnceMissingFires) {
+  const auto diags = lint_one("src/a.h", "// header comment\nint x;\n");
+  EXPECT_TRUE(has(diags, "pragma-once", 2));
+}
+
+TEST(LintRules, PragmaOnceDuplicateAndMisplacedFire) {
+  EXPECT_TRUE(has(
+      lint_one("src/a.h", "#pragma once\nint x;\n#pragma once\n"),
+      "pragma-once", 3));
+  EXPECT_TRUE(has(lint_one("src/a.h", "int x;\n#pragma once\n"),
+                  "pragma-once", 2));
+}
+
+TEST(LintRules, PragmaOnceCleanHeaderAndNonHeaders) {
+  EXPECT_TRUE(
+      lint_one("src/a.h", "// doc\n#pragma once\nint x;\n").empty());
+  EXPECT_TRUE(lint_one("src/a.cpp", "int x;\n").empty());
+}
+
+TEST(LintRules, PragmaOnceSuppressed) {
+  const auto diags = lint_one(
+      "src/a.h", "// wcds-lint: allow(pragma-once)\nint x;\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// include-hygiene
+
+TEST(LintRules, IncludeHygieneFires) {
+  const auto diags = lint_one("src/a.cpp",
+                              "#include \"../geom/rng.h\"\n"
+                              "#include <bits/stdc++.h>\n"
+                              "#include \"geom/rng.h\"\n");
+  EXPECT_TRUE(has(diags, "include-hygiene", 1));
+  EXPECT_TRUE(has(diags, "include-hygiene", 2));
+  EXPECT_FALSE(has(diags, "include-hygiene", 3));
+}
+
+TEST(LintRules, IncludeHygieneSuppressed) {
+  const auto diags = lint_one(
+      "src/a.cpp",
+      "#include \"../geom/rng.h\"  // wcds-lint: allow(include-hygiene)\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Engine plumbing
+
+TEST(LintEngine, DiagnosticsSortedAndFormatted) {
+  Linter linter;
+  linter.add_file("src/b.h", "int x;\n");
+  linter.add_file("src/a.h", "int x;\n");
+  const auto diags = linter.run();
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].file, "src/a.h");
+  EXPECT_EQ(diags[1].file, "src/b.h");
+  EXPECT_EQ(format_diagnostic(diags[0]),
+            "src/a.h:1: error: [pragma-once] header is missing #pragma once");
+}
+
+TEST(LintEngine, EnabledRulesFilter) {
+  Config config;
+  config.enabled_rules = {"include-hygiene"};
+  const auto diags =
+      lint_one("src/a.h", "#include \"../x.h\"\nint x;\n", config);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "include-hygiene");
+}
+
+TEST(LintEngine, RuleListIsStable) {
+  const std::vector<std::string> expected = {
+      "no-bare-assert",   "paper-constant",  "hot-path-alloc",
+      "message-type-registry", "metric-doc-sync", "pragma-once",
+      "include-hygiene"};
+  ASSERT_EQ(rules().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(rules()[i].name, expected[i]);
+    EXPECT_FALSE(rules()[i].summary.empty());
+  }
+}
+
+}  // namespace
+}  // namespace wcds::lint

@@ -1,0 +1,695 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+namespace wcds::lint {
+namespace {
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_space_only(std::string_view s) {
+  return s.find_first_not_of(" \t\r") == std::string_view::npos;
+}
+
+std::string_view trim(std::string_view s) {
+  const std::size_t first = s.find_first_not_of(" \t\r");
+  if (first == std::string_view::npos) return {};
+  const std::size_t last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+// Word-boundary-safe token search.
+std::size_t find_token(std::string_view line, std::string_view word,
+                       std::size_t from = 0) {
+  while (from + word.size() <= line.size()) {
+    const std::size_t pos = line.find(word, from);
+    if (pos == std::string_view::npos) return std::string_view::npos;
+    const bool left_ok = pos == 0 || !is_word(line[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= line.size() || !is_word(line[end]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+  return std::string_view::npos;
+}
+
+std::size_t skip_spaces(std::string_view line, std::size_t pos) {
+  while (pos < line.size() &&
+         (line[pos] == ' ' || line[pos] == '\t' || line[pos] == '\r')) {
+    ++pos;
+  }
+  return pos;
+}
+
+// Reads the identifier starting at `pos` (or npos if none starts there).
+std::string_view read_identifier(std::string_view line, std::size_t pos) {
+  if (pos >= line.size()) return {};
+  if (!is_word(line[pos]) ||
+      std::isdigit(static_cast<unsigned char>(line[pos])) != 0) {
+    return {};
+  }
+  std::size_t end = pos;
+  while (end < line.size() && is_word(line[end])) ++end;
+  return line.substr(pos, end - pos);
+}
+
+// `// wcds-lint: allow(rule-a, rule-b)` inside a comment.
+void parse_suppressions(std::string_view comment, std::set<std::string>& out) {
+  static constexpr std::string_view kKey = "wcds-lint:";
+  std::size_t pos = 0;
+  while ((pos = comment.find(kKey, pos)) != std::string_view::npos) {
+    pos = skip_spaces(comment, pos + kKey.size());
+    static constexpr std::string_view kAllow = "allow";
+    if (comment.substr(pos, kAllow.size()) != kAllow) continue;
+    pos = skip_spaces(comment, pos + kAllow.size());
+    if (pos >= comment.size() || comment[pos] != '(') continue;
+    ++pos;
+    const std::size_t close = comment.find(')', pos);
+    if (close == std::string_view::npos) return;
+    std::string_view list = comment.substr(pos, close - pos);
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      out.emplace(trim(list.substr(0, comma)));
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
+    }
+    pos = close + 1;
+  }
+}
+
+}  // namespace
+
+SourceFile annotate_source(std::string path, const std::string& content) {
+  SourceFile file;
+  file.path = std::move(path);
+
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string raw_line, code_line, pure_line, comment_line;
+  std::string raw_terminator;  // ")delim\"" ending the active raw string
+
+  auto flush_line = [&] {
+    file.raw.push_back(raw_line);
+    file.code.push_back(code_line);
+    file.pure.push_back(pure_line);
+    file.allowed.emplace_back();
+    parse_suppressions(comment_line, file.allowed.back());
+    raw_line.clear();
+    code_line.clear();
+    pure_line.clear();
+    comment_line.clear();
+  };
+
+  // Appends one consumed character to all four channels.
+  auto emit = [&](char raw, char code, char pure, char comment) {
+    raw_line += raw;
+    code_line += code;
+    pure_line += pure;
+    comment_line += comment;
+  };
+
+  const std::size_t n = content.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    if (c == '\n') {
+      flush_line();
+      // Line comments end; an (ill-formed) unterminated string or char
+      // literal is closed defensively so one bad line cannot hide the rest
+      // of the file.  Block comments and raw strings continue.
+      if (state == State::kLineComment || state == State::kString ||
+          state == State::kChar) {
+        state = State::kCode;
+      }
+      continue;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          emit(c, ' ', ' ', c);
+          emit(next, ' ', ' ', next);
+          ++i;
+          state = State::kLineComment;
+        } else if (c == '/' && next == '*') {
+          emit(c, ' ', ' ', c);
+          emit(next, ' ', ' ', next);
+          ++i;
+          state = State::kBlockComment;
+        } else if (c == '"') {
+          // R"delim(...)delim" — the prefix character R makes it raw.
+          if (!code_line.empty() && code_line.back() == 'R' &&
+              (code_line.size() < 2 || !is_word(code_line[code_line.size() - 2]))) {
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < n && content[j] != '(') delim += content[j++];
+            raw_terminator = ")" + delim + "\"";
+            state = State::kRawString;
+            emit(c, c, c, ' ');
+          } else {
+            emit(c, c, c, ' ');
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          // A quote directly after a word character is a digit separator
+          // (100'000), not a character literal.
+          if (!code_line.empty() && is_word(code_line.back())) {
+            emit(c, c, c, ' ');
+          } else {
+            emit(c, c, c, ' ');
+            state = State::kChar;
+          }
+        } else {
+          emit(c, c, c, ' ');
+        }
+        break;
+      case State::kLineComment:
+        emit(c, ' ', ' ', c);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          emit(c, ' ', ' ', c);
+          emit(next, ' ', ' ', next);
+          ++i;
+          state = State::kCode;
+        } else {
+          emit(c, ' ', ' ', c);
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < n) {
+          emit(c, c, ' ', ' ');
+          if (next != '\n') {
+            emit(next, next, ' ', ' ');
+            ++i;
+          }
+        } else if (c == quote) {
+          emit(c, c, c, ' ');
+          state = State::kCode;
+        } else {
+          emit(c, c, ' ', ' ');
+        }
+        break;
+      }
+      case State::kRawString:
+        emit(c, c, ' ', ' ');
+        if (c == '"' && raw_line.size() >= raw_terminator.size() &&
+            raw_line.compare(raw_line.size() - raw_terminator.size(),
+                             raw_terminator.size(), raw_terminator) == 0) {
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  if (!raw_line.empty()) flush_line();
+
+  // A suppression on a comment-only line also covers the next line.
+  for (std::size_t i = 0; i + 1 < file.raw.size(); ++i) {
+    if (!file.allowed[i].empty() && is_space_only(file.pure[i])) {
+      file.allowed[i + 1].insert(file.allowed[i].begin(),
+                                 file.allowed[i].end());
+    }
+  }
+  return file;
+}
+
+std::string format_diagnostic(const Diagnostic& diagnostic) {
+  std::ostringstream out;
+  out << diagnostic.file << ":" << diagnostic.line << ": error: ["
+      << diagnostic.rule << "] " << diagnostic.message;
+  return out.str();
+}
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"no-bare-assert",
+       "assert()/abort() in src/ must use WCDS_CHECK/WCDS_DCHECK/WCDS_REQUIRE"},
+      {"paper-constant",
+       "raw Lemma 1/2 packing literals (5/23/24/47/48) must use the named "
+       "constants in src/check/audit.h"},
+      {"hot-path-alloc",
+       "std::map/std::function/std::shared_ptr/new are forbidden in the "
+       "allocation-free sim delivery files"},
+      {"message-type-registry",
+       "every *MessageType enumerator needs a trace-name entry "
+       "(case kX: return \"...\")"},
+      {"metric-doc-sync",
+       "every obs::Recorder metric name must be documented in "
+       "docs/OBSERVABILITY.md"},
+      {"pragma-once", "headers start with exactly one #pragma once"},
+      {"include-hygiene", "no ../ or <bits/...> includes"},
+  };
+  return kRules;
+}
+
+Linter::Linter(Config config) : config_(std::move(config)) {}
+
+void Linter::add_file(std::string path, const std::string& content) {
+  files_.push_back(annotate_source(std::move(path), content));
+}
+
+bool Linter::rule_enabled(const std::string& rule) const {
+  return config_.enabled_rules.empty() ||
+         config_.enabled_rules.count(rule) != 0;
+}
+
+namespace {
+
+bool in_src(const SourceFile& file) {
+  return std::string_view(file.path).starts_with("src/");
+}
+
+bool is_header(const SourceFile& file) {
+  const std::string_view path = file.path;
+  return path.ends_with(".h") || path.ends_with(".hpp");
+}
+
+// --- no-bare-assert ---------------------------------------------------------
+
+void rule_no_bare_assert(const SourceFile& file,
+                         std::vector<Diagnostic>& diags) {
+  if (!in_src(file)) return;
+  static constexpr std::string_view kCalls[] = {"assert", "abort"};
+  for (std::size_t i = 0; i < file.pure.size(); ++i) {
+    const std::string& line = file.pure[i];
+    for (const std::string_view call : kCalls) {
+      std::size_t pos = 0;
+      while ((pos = find_token(line, call, pos)) != std::string_view::npos) {
+        const std::size_t after = skip_spaces(line, pos + call.size());
+        if (after < line.size() && line[after] == '(') {
+          diags.push_back(
+              {file.path, static_cast<int>(i + 1), "no-bare-assert",
+               "bare " + std::string(call) +
+                   "() bypasses the contract layer; use WCDS_CHECK / "
+                   "WCDS_DCHECK / WCDS_REQUIRE (src/check/check.h) so the "
+                   "failure routes through the pluggable handler"});
+        }
+        pos += call.size();
+      }
+    }
+  }
+}
+
+// --- paper-constant ---------------------------------------------------------
+
+void rule_paper_constant(const SourceFile& file, const Config& config,
+                         std::vector<Diagnostic>& diags) {
+  if (!in_src(file)) return;
+  for (const std::string& exempt : config.paper_constant_exempt) {
+    if (file.path == exempt) return;
+  }
+  static const std::set<std::string, std::less<>> kLiterals = {"5", "23", "24",
+                                                               "47", "48"};
+  for (std::size_t i = 0; i < file.pure.size(); ++i) {
+    const std::string& line = file.pure[i];
+    for (std::size_t pos = 0; pos < line.size();) {
+      const char c = line[pos];
+      if (std::isdigit(static_cast<unsigned char>(c)) == 0 ||
+          (pos > 0 && (is_word(line[pos - 1]) || line[pos - 1] == '.'))) {
+        ++pos;
+        continue;
+      }
+      // Consume the whole numeric literal: digits, radix/float chars,
+      // suffixes and digit separators, so 24.0 / 0x17 / 5u never match "5".
+      std::size_t end = pos;
+      while (end < line.size() &&
+             (is_word(line[end]) || line[end] == '.' || line[end] == '\'')) {
+        ++end;
+      }
+      const std::string token = line.substr(pos, end - pos);
+      if (kLiterals.count(token) != 0) {
+        diags.push_back(
+            {file.path, static_cast<int>(i + 1), "paper-constant",
+             "raw packing constant " + token +
+                 "; reference the named Lemma/Theorem constant from "
+                 "src/check/audit.h (kLemma1MaxMisNeighbors, "
+                 "kLemma2TwoHopBound, kLemma2ThreeHopBound, "
+                 "kTheorem10MisFactor, ...) instead"});
+      }
+      pos = end;
+    }
+  }
+}
+
+// --- hot-path-alloc ---------------------------------------------------------
+
+void rule_hot_path_alloc(const SourceFile& file, const Config& config,
+                         std::vector<Diagnostic>& diags) {
+  const bool guarded =
+      std::find(config.hot_path_files.begin(), config.hot_path_files.end(),
+                file.path) != config.hot_path_files.end();
+  if (!guarded) return;
+  static constexpr std::string_view kPatterns[] = {
+      "std::map", "std::function", "std::shared_ptr", "std::make_shared"};
+  for (std::size_t i = 0; i < file.pure.size(); ++i) {
+    const std::string& line = file.pure[i];
+    for (const std::string_view pattern : kPatterns) {
+      std::size_t pos = 0;
+      while ((pos = line.find(pattern, pos)) != std::string::npos) {
+        const std::size_t end = pos + pattern.size();
+        if (end >= line.size() || !is_word(line[end])) {
+          diags.push_back(
+              {file.path, static_cast<int>(i + 1), "hot-path-alloc",
+               std::string(pattern) +
+                   " in an allocation-free sim delivery file; the hot path "
+                   "must stay POD + pooled (docs/PERFORMANCE.md)"});
+        }
+        pos = end;
+      }
+    }
+    std::size_t pos = 0;
+    while ((pos = find_token(line, "new", pos)) != std::string_view::npos) {
+      diags.push_back({file.path, static_cast<int>(i + 1), "hot-path-alloc",
+                       "bare `new` in an allocation-free sim delivery file; "
+                       "use the message pool / preallocated buffers "
+                       "(docs/PERFORMANCE.md)"});
+      pos += 3;
+    }
+  }
+}
+
+// --- message-type-registry --------------------------------------------------
+
+struct EnumeratorDecl {
+  std::string file;
+  int line = 0;
+  std::string enum_name;
+  std::string name;
+};
+
+// Collects the enumerators of every `enum <X>MessageType` in `file`.
+void collect_message_type_enumerators(const SourceFile& file,
+                                      std::vector<EnumeratorDecl>& out) {
+  for (std::size_t i = 0; i < file.pure.size(); ++i) {
+    std::size_t pos = find_token(file.pure[i], "enum");
+    if (pos == std::string_view::npos) continue;
+    pos = skip_spaces(file.pure[i], pos + 4);
+    std::string_view name = read_identifier(file.pure[i], pos);
+    if (name == "class" || name == "struct") {
+      pos = skip_spaces(file.pure[i], pos + name.size());
+      name = read_identifier(file.pure[i], pos);
+    }
+    if (!name.ends_with("MessageType") || name == "MessageType") continue;
+    const std::string enum_name(name);
+    // Walk from the opening brace, collecting the first identifier of each
+    // comma-separated entry until the closing brace.
+    bool in_body = false;
+    bool expect_name = false;
+    for (std::size_t row = i; row < file.pure.size(); ++row) {
+      const std::string& line = file.pure[row];
+      std::size_t col = row == i ? pos + name.size() : 0;
+      while (col < line.size()) {
+        const char c = line[col];
+        if (!in_body) {
+          if (c == '{') {
+            in_body = true;
+            expect_name = true;
+          } else if (c == ';') {
+            return;  // opaque-enum declaration, no body
+          }
+          ++col;
+          continue;
+        }
+        if (c == '}') return;
+        if (c == ',') {
+          expect_name = true;
+          ++col;
+          continue;
+        }
+        if (expect_name) {
+          const std::string_view id = read_identifier(line, col);
+          if (!id.empty()) {
+            out.push_back({file.path, static_cast<int>(row + 1), enum_name,
+                           std::string(id)});
+            expect_name = false;
+            col += id.size();
+            continue;
+          }
+        }
+        ++col;
+      }
+    }
+  }
+}
+
+// Enumerators that have a `case kX: return "..."` trace-name entry anywhere.
+std::set<std::string> collect_named_cases(
+    const std::vector<SourceFile>& files) {
+  std::set<std::string> named;
+  for (const SourceFile& file : files) {
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+      const std::string& line = file.code[i];
+      std::size_t pos = 0;
+      while ((pos = find_token(line, "case", pos)) != std::string_view::npos) {
+        std::size_t at = skip_spaces(line, pos + 4);
+        const std::string_view id = read_identifier(line, at);
+        pos = at;
+        if (id.empty()) continue;
+        // The returned name may sit on the same line or the next one.
+        at += id.size();
+        std::string window = line.substr(at);
+        if (i + 1 < file.code.size()) window += " " + file.code[i + 1];
+        const std::size_t ret = find_token(window, "return");
+        if (ret != std::string_view::npos &&
+            window.find('"', ret) != std::string::npos) {
+          named.emplace(id);
+        }
+      }
+    }
+  }
+  return named;
+}
+
+// --- metric-doc-sync --------------------------------------------------------
+
+// Metric-name string literals recorded through obs::Recorder in this file.
+struct MetricUse {
+  std::string name;
+  int line = 0;
+};
+
+std::vector<MetricUse> collect_metric_uses(const SourceFile& file) {
+  std::vector<MetricUse> uses;
+  static constexpr std::string_view kMethods[] = {"add", "set", "set_max",
+                                                  "observe"};
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    for (std::size_t pos = 0; pos < line.size(); ++pos) {
+      if (line[pos] != '.') continue;
+      const std::size_t id_at = skip_spaces(line, pos + 1);
+      const std::string_view id = read_identifier(line, id_at);
+      if (id.empty()) continue;
+      bool is_method = false;
+      for (const std::string_view m : kMethods) is_method |= (id == m);
+      if (!is_method) continue;
+      std::size_t at = skip_spaces(line, id_at + id.size());
+      if (at >= line.size() || line[at] != '(') continue;
+      at = skip_spaces(line, at + 1);
+      if (at >= line.size() || line[at] != '"') continue;
+      const std::size_t close = line.find('"', at + 1);
+      if (close == std::string::npos) continue;
+      const std::string name = line.substr(at + 1, close - at - 1);
+      if (!name.empty()) {
+        uses.push_back({name, static_cast<int>(i + 1)});
+      }
+    }
+    // PhaseTimer(recorder, "name") records into phase_ms/<name>.
+    std::size_t pos = 0;
+    while ((pos = find_token(line, "PhaseTimer", pos)) !=
+           std::string_view::npos) {
+      const std::size_t paren = line.find('(', pos);
+      pos += 10;
+      if (paren == std::string::npos) continue;
+      const std::size_t quote = line.find('"', paren);
+      if (quote == std::string::npos) continue;
+      const std::size_t close = line.find('"', quote + 1);
+      if (close == std::string::npos) continue;
+      uses.push_back({"phase_ms/" + line.substr(quote + 1, close - quote - 1),
+                      static_cast<int>(i + 1)});
+    }
+  }
+  return uses;
+}
+
+// Backtick-quoted tokens of the metric registry document.
+std::vector<std::string> doc_tokens(const std::string& doc) {
+  std::vector<std::string> tokens;
+  std::size_t pos = 0;
+  while ((pos = doc.find('`', pos)) != std::string::npos) {
+    const std::size_t close = doc.find('`', pos + 1);
+    if (close == std::string::npos) break;
+    const std::string token = doc.substr(pos + 1, close - pos - 1);
+    if (!token.empty() && token.find('\n') == std::string::npos) {
+      tokens.push_back(token);
+    }
+    pos = close + 1;
+  }
+  return tokens;
+}
+
+// A name is documented when a token matches it exactly, or a token with a
+// `<placeholder>` documents the dynamic-suffix family it begins.
+bool metric_documented(const std::string& name,
+                       const std::vector<std::string>& tokens) {
+  for (const std::string& token : tokens) {
+    if (token == name) return true;
+    const std::size_t angle = token.find('<');
+    if (angle != std::string::npos && angle > 0 &&
+        std::string_view(name).starts_with(
+            std::string_view(token).substr(0, angle))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- pragma-once / include-hygiene ------------------------------------------
+
+void rule_pragma_once(const SourceFile& file, std::vector<Diagnostic>& diags) {
+  if (!is_header(file)) return;
+  int first_code_line = 0;  // 1-based; 0 = none
+  int pragma_count = 0;
+  for (std::size_t i = 0; i < file.pure.size(); ++i) {
+    const std::string_view line = trim(file.pure[i]);
+    if (line.empty()) continue;
+    if (first_code_line == 0) first_code_line = static_cast<int>(i + 1);
+    if (line == "#pragma once") {
+      ++pragma_count;
+      if (pragma_count == 1 &&
+          first_code_line != static_cast<int>(i + 1)) {
+        diags.push_back({file.path, static_cast<int>(i + 1), "pragma-once",
+                         "#pragma once must be the first non-comment line of "
+                         "the header"});
+      } else if (pragma_count > 1) {
+        diags.push_back({file.path, static_cast<int>(i + 1), "pragma-once",
+                         "duplicate #pragma once"});
+      }
+    }
+  }
+  if (pragma_count == 0 && first_code_line != 0) {
+    diags.push_back({file.path, first_code_line, "pragma-once",
+                     "header is missing #pragma once"});
+  }
+}
+
+void rule_include_hygiene(const SourceFile& file,
+                          std::vector<Diagnostic>& diags) {
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    std::size_t pos = line.find("#include");
+    if (pos == std::string::npos) continue;
+    if (!is_space_only(std::string_view(line).substr(0, pos))) continue;
+    pos = skip_spaces(line, pos + 8);
+    if (pos >= line.size()) continue;
+    const char open = line[pos];
+    if (open != '"' && open != '<') continue;
+    const char close_char = open == '"' ? '"' : '>';
+    const std::size_t close = line.find(close_char, pos + 1);
+    if (close == std::string::npos) continue;
+    const std::string path = line.substr(pos + 1, close - pos - 1);
+    if (std::string_view(path).starts_with("../") ||
+        path.find("/../") != std::string::npos) {
+      diags.push_back({file.path, static_cast<int>(i + 1), "include-hygiene",
+                       "parent-relative include \"" + path +
+                           "\"; use a src-root-relative path"});
+    } else if (std::string_view(path).starts_with("bits/")) {
+      diags.push_back({file.path, static_cast<int>(i + 1), "include-hygiene",
+                       "<bits/...> is a libstdc++ internal; include the "
+                       "standard header instead"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> Linter::run() const {
+  std::vector<Diagnostic> diags;
+
+  for (const SourceFile& file : files_) {
+    if (rule_enabled("no-bare-assert")) rule_no_bare_assert(file, diags);
+    if (rule_enabled("paper-constant")) {
+      rule_paper_constant(file, config_, diags);
+    }
+    if (rule_enabled("hot-path-alloc")) {
+      rule_hot_path_alloc(file, config_, diags);
+    }
+    if (rule_enabled("pragma-once")) rule_pragma_once(file, diags);
+    if (rule_enabled("include-hygiene")) rule_include_hygiene(file, diags);
+  }
+
+  if (rule_enabled("message-type-registry")) {
+    std::vector<EnumeratorDecl> enumerators;
+    for (const SourceFile& file : files_) {
+      if (in_src(file)) collect_message_type_enumerators(file, enumerators);
+    }
+    const std::set<std::string> named = collect_named_cases(files_);
+    for (const EnumeratorDecl& decl : enumerators) {
+      if (named.count(decl.name) != 0) continue;
+      diags.push_back(
+          {decl.file, decl.line, "message-type-registry",
+           "enumerator '" + decl.name + "' of " + decl.enum_name +
+               " has no trace-name entry; add `case " + decl.name +
+               ": return \"...\";` to the protocol's *_message_name switch"});
+    }
+  }
+
+  if (rule_enabled("metric-doc-sync") && !config_.observability_doc.empty()) {
+    const std::vector<std::string> tokens =
+        doc_tokens(config_.observability_doc);
+    for (const SourceFile& file : files_) {
+      // src/obs/ is the recording mechanism, not a call site.
+      if (!in_src(file) ||
+          std::string_view(file.path).starts_with("src/obs/")) {
+        continue;
+      }
+      for (const MetricUse& use : collect_metric_uses(file)) {
+        if (metric_documented(use.name, tokens)) continue;
+        diags.push_back({file.path, use.line, "metric-doc-sync",
+                         "metric name \"" + use.name +
+                             "\" is not documented in " +
+                             config_.observability_doc_name +
+                             " (add it to the metric registry table)"});
+      }
+    }
+  }
+
+  // Apply `wcds-lint: allow(...)` suppressions.
+  std::vector<Diagnostic> kept;
+  kept.reserve(diags.size());
+  for (Diagnostic& diag : diags) {
+    bool suppressed = false;
+    for (const SourceFile& file : files_) {
+      if (file.path != diag.file) continue;
+      const std::size_t idx = static_cast<std::size_t>(diag.line) - 1;
+      suppressed = idx < file.allowed.size() &&
+                   (file.allowed[idx].count(diag.rule) != 0 ||
+                    file.allowed[idx].count("all") != 0);
+      break;
+    }
+    if (!suppressed) kept.push_back(std::move(diag));
+  }
+
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return kept;
+}
+
+}  // namespace wcds::lint

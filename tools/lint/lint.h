@@ -1,0 +1,127 @@
+// wcds_lint: project-aware static analysis for the wcds repository.
+//
+// clang-tidy and the sanitizers catch generic C++ bugs; this tool enforces
+// the invariants only *this* project knows about.  It is dependency-free
+// (standard library only), runs under ctest against the repo tree, and
+// reports file:line diagnostics that CI treats as errors.
+//
+// Rules (ids are stable; see docs/CHECKING.md "Static analysis layers"):
+//
+//   no-bare-assert         assert()/abort() in src/ must go through the
+//                          WCDS_CHECK / WCDS_DCHECK / WCDS_REQUIRE contract
+//                          macros so failures route through the pluggable
+//                          handler (src/check/check.h).
+//   paper-constant         the Lemma 1/2 packing literals (5, 23, 24, 47,
+//                          48) outside src/mis/properties.h and
+//                          src/check/audit.* must reference the named
+//                          constants in src/check/audit.h.
+//   hot-path-alloc         std::map / std::function / std::shared_ptr /
+//                          bare `new` are forbidden in the allocation-free
+//                          simulator delivery files (docs/PERFORMANCE.md).
+//   message-type-registry  every enumerator of an `enum *MessageType :
+//                          sim::MessageType` must have a trace-name entry
+//                          (`case kX: return "...";`) somewhere — the
+//                          cross-file table sync -Wswitch cannot see.
+//   metric-doc-sync        every metric name literal recorded through
+//                          obs::Recorder must appear in the
+//                          docs/OBSERVABILITY.md registry.
+//   pragma-once            headers start with exactly one `#pragma once`.
+//   include-hygiene        no parent-relative (`../`) or <bits/...>
+//                          includes; project includes are src-root
+//                          relative.
+//
+// Suppression: a `// wcds-lint: allow(<rule>[,<rule>...])` comment silences
+// the named rules on its own line; a comment-only line silences them on the
+// following line as well.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wcds::lint {
+
+struct Diagnostic {
+  std::string file;  // repo-relative, '/'-separated
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+// "<file>:<line>: error: [<rule>] <message>"
+[[nodiscard]] std::string format_diagnostic(const Diagnostic& diagnostic);
+
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+// Every rule the engine knows, in reporting order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+struct Config {
+  // Files allowed to spell the packing constants literally: the property
+  // measurers and the auditor that define/own them.
+  std::vector<std::string> paper_constant_exempt = {
+      "src/mis/properties.h",
+      "src/mis/properties.cpp",
+      "src/check/audit.h",
+      "src/check/audit.cpp",
+  };
+
+  // Allocation-free hot-path files guarded by hot-path-alloc.
+  std::vector<std::string> hot_path_files = {
+      "src/sim/runtime.h",
+      "src/sim/runtime.cpp",
+      "src/sim/message.h",
+  };
+
+  // Contents of the metric registry document; empty disables
+  // metric-doc-sync.  `observability_doc_name` is only used in messages.
+  std::string observability_doc;
+  std::string observability_doc_name = "docs/OBSERVABILITY.md";
+
+  // Rules to run; empty means all.
+  std::set<std::string> enabled_rules;
+};
+
+// One analyzed file in three aligned channels (same line/column layout):
+//   raw   verbatim source lines;
+//   code  comments blanked with spaces, string literals kept — for rules
+//         that read literals (includes, metric names, trace tables);
+//   pure  comments AND string/char contents blanked — for token rules that
+//         must not fire on prose.
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::string> pure;
+  // Per-line rule suppressions parsed from wcds-lint: allow(...) comments.
+  std::vector<std::set<std::string>> allowed;
+};
+
+// Lexes `content` into the three channels; exposed for the self-tests.
+[[nodiscard]] SourceFile annotate_source(std::string path,
+                                         const std::string& content);
+
+class Linter {
+ public:
+  explicit Linter(Config config = {});
+
+  // Register an in-memory file (tests) or one loaded from disk (CLI).
+  void add_file(std::string path, const std::string& content);
+
+  // Run every enabled rule over the registered files.  Diagnostics are
+  // sorted by (file, line, rule) and already filtered by suppressions.
+  [[nodiscard]] std::vector<Diagnostic> run() const;
+
+ private:
+  [[nodiscard]] bool rule_enabled(const std::string& rule) const;
+
+  Config config_;
+  std::vector<SourceFile> files_;
+};
+
+}  // namespace wcds::lint

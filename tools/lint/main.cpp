@@ -1,0 +1,140 @@
+// wcds_lint CLI.
+//
+//   wcds_lint [--root <dir>] [--rules=<a,b,...>] [--list-rules] [paths...]
+//
+// Paths are repo-relative files or directories (default: src tools bench),
+// scanned recursively for C++ sources.  Exit status is 0 when clean, 1 when
+// any diagnostic fires, 2 on usage/IO errors.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool has_source_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
+         ext == ".cxx";
+}
+
+// Repo-relative, '/'-separated form of `path` under `root`.
+std::string relative_key(const fs::path& path, const fs::path& root) {
+  return fs::relative(path, root).generic_string();
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int usage(std::ostream& out, int status) {
+  out << "usage: wcds_lint [--root <dir>] [--rules=<a,b,...>] [--list-rules]"
+         " [paths...]\n"
+         "paths default to: src tools bench (relative to --root)\n";
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  wcds::lint::Config config;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (arg == "--list-rules") {
+      for (const wcds::lint::RuleInfo& rule : wcds::lint::rules()) {
+        std::cout << rule.name << ": " << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) return usage(std::cerr, 2);
+      root = argv[++i];
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      std::string list = arg.substr(8);
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string rule =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        if (!rule.empty()) config.enabled_rules.insert(rule);
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "wcds_lint: unknown option " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) inputs = {"src", "tools", "bench"};
+
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::cerr << "wcds_lint: cannot resolve root: " << ec.message() << "\n";
+    return 2;
+  }
+
+  // The metric registry document; missing is fine (rule disabled) so the
+  // tool still works on partial checkouts.
+  read_file(root / config.observability_doc_name, config.observability_doc);
+
+  std::vector<std::string> files;
+  for (const std::string& input : inputs) {
+    const fs::path path = root / input;
+    if (fs::is_directory(path, ec)) {
+      for (const fs::directory_entry& entry :
+           fs::recursive_directory_iterator(path, ec)) {
+        if (entry.is_regular_file() && has_source_extension(entry.path())) {
+          files.push_back(relative_key(entry.path(), root));
+        }
+      }
+    } else if (fs::is_regular_file(path, ec)) {
+      files.push_back(relative_key(path, root));
+    } else {
+      std::cerr << "wcds_lint: no such file or directory: " << input << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  wcds::lint::Linter linter(std::move(config));
+  for (const std::string& file : files) {
+    std::string content;
+    if (!read_file(root / file, content)) {
+      std::cerr << "wcds_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    linter.add_file(file, content);
+  }
+
+  const std::vector<wcds::lint::Diagnostic> diagnostics = linter.run();
+  for (const wcds::lint::Diagnostic& diagnostic : diagnostics) {
+    std::cout << wcds::lint::format_diagnostic(diagnostic) << "\n";
+  }
+  if (!diagnostics.empty()) {
+    std::cout << "wcds_lint: " << diagnostics.size() << " diagnostic"
+              << (diagnostics.size() == 1 ? "" : "s") << " in " << files.size()
+              << " files\n";
+    return 1;
+  }
+  return 0;
+}
