@@ -26,6 +26,10 @@
 #include "wcds/algorithm2.h"
 #include "wcds/wcds_result.h"
 
+namespace wcds::fault {
+struct Plan;
+}  // namespace wcds::fault
+
 namespace wcds::core {
 
 enum class BuildAlgorithm : std::uint8_t {
@@ -56,6 +60,13 @@ struct BuildOptions {
   // flat queue is the production path; the reference map reproduces the
   // original allocating queue for differential tests and benchmarks.
   sim::QueuePolicy queue_policy = sim::QueuePolicy::kFlat;
+
+  // Protocol modes only: deterministic fault injection (message loss,
+  // duplication, delay jitter, node crash windows — src/fault/plan.h).
+  // Null keeps the perfect radio at zero overhead; non-null runs the
+  // protocol under the fault::HardenedNode reliable transport and requires
+  // the flat queue policy.  Centralized modes ignore it (no radio).
+  const fault::Plan* faults = nullptr;
 
   // Observability: explicit recorder, else the ambient
   // obs::global_recorder(), else no recording.

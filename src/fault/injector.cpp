@@ -1,0 +1,113 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+#include "check/check.h"
+
+namespace wcds::fault {
+
+Injector::Injector(Plan plan, std::size_t node_count)
+    : plan_(std::move(plan)), rng_(plan_.seed) {
+  WCDS_REQUIRE(plan_.drop >= 0.0 && plan_.drop < 1.0,
+               "fault::Injector: drop probability must be in [0, 1)");
+  WCDS_REQUIRE(plan_.duplicate >= 0.0 && plan_.duplicate <= 1.0,
+               "fault::Injector: duplicate probability must be in [0, 1]");
+  std::sort(plan_.link_overrides.begin(), plan_.link_overrides.end(),
+            [](const LinkOverride& a, const LinkOverride& b) {
+              return a.link_slot < b.link_slot;
+            });
+  for (const LinkOverride& entry : plan_.link_overrides) {
+    WCDS_REQUIRE(entry.drop >= 0.0 && entry.drop < 1.0 &&
+                     entry.duplicate >= 0.0 && entry.duplicate <= 1.0,
+                 "fault::Injector: link override probability out of range");
+  }
+  if (!plan_.crashes.empty()) {
+    std::sort(plan_.crashes.begin(), plan_.crashes.end(),
+              [](const CrashWindow& a, const CrashWindow& b) {
+                return a.node != b.node ? a.node < b.node
+                                        : a.down_from < b.down_from;
+              });
+    window_begin_.assign(node_count + 1, 0);
+    for (const CrashWindow& window : plan_.crashes) {
+      WCDS_REQUIRE(window.node < node_count,
+                   "fault::Injector: crash window names node "
+                       << window.node << " outside the topology");
+      ++window_begin_[window.node + 1];
+    }
+    for (std::size_t u = 0; u < node_count; ++u) {
+      window_begin_[u + 1] += window_begin_[u];
+    }
+  }
+}
+
+bool Injector::down(NodeId node, sim::SimTime at) const {
+  if (window_begin_.empty()) return false;
+  const std::uint32_t begin = window_begin_[node];
+  const std::uint32_t end = window_begin_[node + 1];
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const CrashWindow& window = plan_.crashes[i];
+    if (at >= window.down_from && at < window.up_at) return true;
+  }
+  return false;
+}
+
+const LinkOverride* Injector::override_for(std::size_t link_slot) const {
+  const auto it = std::lower_bound(
+      plan_.link_overrides.begin(), plan_.link_overrides.end(), link_slot,
+      [](const LinkOverride& entry, std::size_t slot) {
+        return entry.link_slot < slot;
+      });
+  if (it != plan_.link_overrides.end() && it->link_slot == link_slot) {
+    return &*it;
+  }
+  return nullptr;
+}
+
+bool Injector::send_blocked(NodeId src, sim::SimTime now) {
+  if (!down(src, now)) return false;
+  ++counters_.suppressed_sends;
+  return true;
+}
+
+bool Injector::drop_copy(std::size_t link_slot) {
+  // Always draw, even at probability zero: the stream position must depend
+  // only on the call sequence, never on earlier outcomes' plan values.
+  const double roll = rng_.next_double();
+  const LinkOverride* entry = override_for(link_slot);
+  const double probability = entry != nullptr ? entry->drop : plan_.drop;
+  if (roll >= probability) return false;
+  ++counters_.dropped;
+  return true;
+}
+
+bool Injector::duplicate_copy(std::size_t link_slot) {
+  const double roll = rng_.next_double();
+  const LinkOverride* entry = override_for(link_slot);
+  const double probability =
+      entry != nullptr ? entry->duplicate : plan_.duplicate;
+  if (roll >= probability) return false;
+  ++counters_.duplicated;
+  return true;
+}
+
+sim::SimTime Injector::extra_delay() {
+  if (plan_.max_jitter == 0) return 0;
+  return rng_.next_below(plan_.max_jitter + 1);
+}
+
+bool Injector::receive_blocked(NodeId recipient, sim::SimTime at) {
+  if (!down(recipient, at)) return false;
+  ++counters_.blocked_receives;
+  return true;
+}
+
+void Injector::record_metrics(obs::Recorder* recorder) const {
+  if (recorder == nullptr) return;
+  auto& metrics = recorder->metrics();
+  metrics.add("fault/dropped", counters_.dropped);
+  metrics.add("fault/duplicated", counters_.duplicated);
+  metrics.add("fault/suppressed_sends", counters_.suppressed_sends);
+  metrics.add("fault/blocked_receives", counters_.blocked_receives);
+}
+
+}  // namespace wcds::fault

@@ -1,0 +1,50 @@
+#include "fault/schedule.h"
+
+#include <chrono>
+
+#include "check/check.h"
+
+namespace wcds::fault {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+CrashScheduleReport run_crash_schedule(maintenance::DynamicWcds& wcds,
+                                       std::span<const NodeId> victims,
+                                       obs::Recorder* recorder) {
+  CrashScheduleReport report;
+  report.outcomes.reserve(victims.size());
+  for (const NodeId victim : victims) {
+    WCDS_REQUIRE(wcds.is_active(victim),
+                 "run_crash_schedule: victim " << victim
+                                               << " is already inactive");
+    CrashOutcome outcome;
+    outcome.node = victim;
+
+    auto start = Clock::now();
+    outcome.crash_repair = wcds.deactivate(victim);
+    outcome.crash_ms = elapsed_ms(start);
+
+    start = Clock::now();
+    outcome.recover_repair = wcds.activate(victim);
+    outcome.recover_ms = elapsed_ms(start);
+
+    report.total_repair_ms += outcome.crash_ms + outcome.recover_ms;
+    if (recorder != nullptr) {
+      auto& metrics = recorder->metrics();
+      metrics.observe("fault/repair_ms", outcome.crash_ms);
+      metrics.observe("fault/repair_ms", outcome.recover_ms);
+    }
+    report.outcomes.push_back(outcome);
+  }
+  return report;
+}
+
+}  // namespace wcds::fault

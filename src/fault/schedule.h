@@ -1,0 +1,44 @@
+// Crash/recover schedules over the maintained backbone.
+//
+// The message-passing protocols take their faults from fault::Plan via the
+// runtime hook; the event-driven maintenance layer (maintenance::
+// DynamicWcds) takes them here, as explicit radio-off / radio-on events.
+// Each crash and each recovery runs the paper's localized repair and is
+// timed; the wall-clock repair latencies land in the `fault/repair_ms`
+// histogram so the A6 experiment can report loss-rate vs recovery-time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "maintenance/dynamic_wcds.h"
+#include "obs/recorder.h"
+
+namespace wcds::fault {
+
+// One crash/recover pair as applied to the maintained structure.
+struct CrashOutcome {
+  NodeId node = kInvalidNode;
+  maintenance::RepairReport crash_repair;
+  maintenance::RepairReport recover_repair;
+  double crash_ms = 0.0;
+  double recover_ms = 0.0;
+};
+
+struct CrashScheduleReport {
+  std::vector<CrashOutcome> outcomes;
+  double total_repair_ms = 0.0;
+};
+
+// Deactivate then reactivate each victim in order, auditing nothing itself:
+// the DynamicWcds instance audits per event when built with audits on, and
+// callers assert the final state.  Victims must be active and are restored
+// before the next victim crashes (sequential outages).  `recorder` (null ok)
+// receives one `fault/repair_ms` observation per repair.
+CrashScheduleReport run_crash_schedule(maintenance::DynamicWcds& wcds,
+                                       std::span<const NodeId> victims,
+                                       obs::Recorder* recorder = nullptr);
+
+}  // namespace wcds::fault

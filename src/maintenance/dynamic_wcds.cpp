@@ -295,6 +295,21 @@ RepairReport DynamicWcds::activate(NodeId u) {
   return report;
 }
 
+RepairReport DynamicWcds::watchdog() {
+  if (audit().ok()) return {};
+  obs::PhaseTimer event_timer(recorder_, "maintenance/watchdog");
+  // Recovery mode: seed the repair everywhere.  Costlier than the 3-hop
+  // event path, but only reached when the maintained state was perturbed
+  // outside the event interface.
+  std::vector<NodeId> everyone(points_.size());
+  for (NodeId u = 0; u < points_.size(); ++u) everyone[u] = u;
+  const RepairReport report = repair(everyone, everyone);
+  event_timer.stop();
+  record_event("watchdog", report);
+  maybe_audit("watchdog");
+  return report;
+}
+
 void DynamicWcds::record_event(const char* event,
                                const RepairReport& report) const {
   if (recorder_ == nullptr) return;

@@ -77,6 +77,14 @@ class DynamicWcds {
   // Full global invariant check (test oracle; not part of the repair path).
   [[nodiscard]] Audit audit() const;
 
+  // Liveness watchdog: audit the maintained invariants and, when any fail,
+  // run a repair pass seeded at every node.  Per-event localized repairs
+  // keep the invariants by construction, so this is the recovery path for
+  // compound fault sequences (crash storms via fault::run_crash_schedule)
+  // or external state perturbation.  Returns the all-zero report when the
+  // audit already passed.
+  RepairReport watchdog();
+
  private:
   // Rebuild the UDG over active nodes (inactive nodes are isolated).
   void rebuild_graph();

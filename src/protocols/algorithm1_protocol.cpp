@@ -4,6 +4,9 @@
 
 #include "check/audit.h"
 #include "check/check.h"
+#include "fault/hardened.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "graph/bfs.h"
 
 namespace wcds::protocols {
@@ -11,6 +14,15 @@ namespace {
 
 bool contains(const std::vector<NodeId>& v, NodeId x) {
   return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+// Final-state accessor that sees through the hardened-transport wrapper.
+const Algorithm1Node& as_algorithm1(const sim::Runtime& runtime, NodeId u,
+                                    bool hardened) {
+  const sim::ProtocolNode& node = runtime.node(u);
+  if (!hardened) return static_cast<const Algorithm1Node&>(node);
+  return static_cast<const Algorithm1Node&>(
+      static_cast<const fault::HardenedNode&>(node).inner());
 }
 
 }  // namespace
@@ -152,7 +164,14 @@ void Algorithm1Node::on_receive(sim::Context& ctx, const sim::Message& msg) {
     }
     case kMsgLevel: {
       const std::uint32_t announced = msg.payload[0];
-      neighbor_levels_.emplace_back(msg.src, announced);
+      // Insert-once keeps the record duplicate-safe (a node announces its
+      // level a single time, so re-hearing it can only be a replay).
+      const auto it =
+          std::find_if(neighbor_levels_.begin(), neighbor_levels_.end(),
+                       [&](const auto& e) { return e.first == msg.src; });
+      if (it == neighbor_levels_.end()) {
+        neighbor_levels_.emplace_back(msg.src, announced);
+      }
       if (msg.src == parent_ && level_ == kNoLevel) {
         announce_level(ctx, announced + 1);
       }
@@ -170,7 +189,8 @@ void Algorithm1Node::on_receive(sim::Context& ctx, const sim::Message& msg) {
       break;
     }
     case kMsgGrayI: {
-      gray_senders_.push_back(msg.src);
+      // Duplicate-safe: a replayed GRAY must not double-count the sender.
+      if (!contains(gray_senders_, msg.src)) gray_senders_.push_back(msg.src);
       maybe_turn_black(ctx);
       break;
     }
@@ -183,15 +203,27 @@ void Algorithm1Node::on_receive(sim::Context& ctx, const sim::Message& msg) {
 DistributedAlgorithm1Run run_algorithm1(const graph::Graph& g,
                                         const sim::DelayModel& delays,
                                         obs::Recorder* recorder,
-                                        sim::QueuePolicy queue) {
+                                        sim::QueuePolicy queue,
+                                        const fault::Plan* faults) {
   WCDS_REQUIRE(g.node_count() > 0, "run_algorithm1: empty graph");
   WCDS_REQUIRE(graph::is_connected(g),
                "run_algorithm1: graph must be connected");
   obs::Recorder* rec = obs::recorder_or_global(recorder);
   obs::PhaseTimer total_timer(rec, "alg1/total");
-  sim::Runtime runtime(
-      g, [](NodeId) { return std::make_unique<Algorithm1Node>(); }, delays,
-      rec, queue);
+  const bool hardened = faults != nullptr;
+  std::unique_ptr<fault::Injector> injector;
+  if (hardened) {
+    injector = std::make_unique<fault::Injector>(*faults, g.node_count());
+  }
+  const sim::Runtime::NodeFactory factory =
+      hardened ? sim::Runtime::NodeFactory([](NodeId) {
+        return std::make_unique<fault::HardenedNode>(
+            std::make_unique<Algorithm1Node>());
+      })
+               : sim::Runtime::NodeFactory([](NodeId) {
+                   return std::make_unique<Algorithm1Node>();
+                 });
+  sim::Runtime runtime(g, factory, delays, rec, queue, injector.get());
   DistributedAlgorithm1Run run;
   {
     obs::PhaseTimer run_timer(rec, "alg1/protocol_run");
@@ -199,6 +231,10 @@ DistributedAlgorithm1Run run_algorithm1(const graph::Graph& g,
   }
   WCDS_REQUIRE_STATE(run.stats.quiescent,
                      "run_algorithm1: event budget exceeded");
+  if (hardened) {
+    injector->record_metrics(rec);
+    fault::record_transport_metrics(runtime, rec);
+  }
   obs::PhaseTimer extract_timer(rec, "alg1/extract");
 
   const std::size_t n = g.node_count();
@@ -207,7 +243,7 @@ DistributedAlgorithm1Run run_algorithm1(const graph::Graph& g,
   r.mask.assign(n, false);
   r.color.assign(n, core::NodeColor::kGray);
   for (NodeId u = 0; u < n; ++u) {
-    const auto& node = static_cast<const Algorithm1Node&>(runtime.node(u));
+    const auto& node = as_algorithm1(runtime, u, hardened);
     if (node.is_leader()) run.leader = u;
     run.levels[u] = node.level();
     if (node.is_dominator()) {

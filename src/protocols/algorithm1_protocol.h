@@ -33,6 +33,10 @@
 #include "sim/runtime.h"
 #include "wcds/wcds_result.h"
 
+namespace wcds::fault {
+struct Plan;
+}  // namespace wcds::fault
+
 namespace wcds::protocols {
 
 // Enumerator values are stable wire/stats ids, not packing constants.
@@ -119,9 +123,14 @@ struct DistributedAlgorithm1Run {
 // `queue` selects the sim's event-queue implementation; the default flat
 // queue is the production path, the reference map exists for differential
 // tests and benchmarks (both deliver in identical (time, seq) order).
+// `faults` (null = the perfect radio, zero overhead) injects the plan's
+// deterministic losses/duplicates/jitter/crashes; the protocol then runs
+// wrapped in the fault::HardenedNode reliable transport and must still
+// converge to an audited WCDS.  Requires the flat queue.
 [[nodiscard]] DistributedAlgorithm1Run run_algorithm1(
     const graph::Graph& g, const sim::DelayModel& delays = sim::DelayModel::unit(),
     obs::Recorder* recorder = nullptr,
-    sim::QueuePolicy queue = sim::QueuePolicy::kFlat);
+    sim::QueuePolicy queue = sim::QueuePolicy::kFlat,
+    const fault::Plan* faults = nullptr);
 
 }  // namespace wcds::protocols

@@ -4,10 +4,22 @@
 
 #include "check/audit.h"
 #include "check/check.h"
+#include "fault/hardened.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "graph/bfs.h"
 
 namespace wcds::protocols {
 namespace {
+
+// Final-state accessor that sees through the hardened-transport wrapper.
+const Algorithm2Node& as_algorithm2(const sim::Runtime& runtime, NodeId u,
+                                    bool hardened) {
+  const sim::ProtocolNode& node = runtime.node(u);
+  if (!hardened) return static_cast<const Algorithm2Node&>(node);
+  return static_cast<const Algorithm2Node&>(
+      static_cast<const fault::HardenedNode&>(node).inner());
+}
 
 // Sorted-unique insertion; returns true if newly inserted.
 template <typename T>
@@ -160,7 +172,12 @@ void Algorithm2Node::on_receive(sim::Context& ctx, const sim::Message& msg) {
       break;
     }
     case kMsgSelection: {
-      // Rule 9: v turns additional-dominator and confirms.
+      // Rule 9: v turns additional-dominator and confirms — once per
+      // selection tuple; a replayed SELECTION is acknowledged by the
+      // transport but must not re-broadcast the confirmation.
+      const std::array<std::uint32_t, 4> key{msg.payload[0], msg.payload[1],
+                                             msg.payload[2], msg.payload[3]};
+      if (!insert_unique(confirmed_selections_, key)) break;
       const NodeId u = msg.payload[0];
       const NodeId x = msg.payload[2];
       const NodeId w = msg.payload[3];
@@ -199,15 +216,27 @@ void Algorithm2Node::on_receive(sim::Context& ctx, const sim::Message& msg) {
 DistributedWcdsRun run_algorithm2(const graph::Graph& g,
                                   const sim::DelayModel& delays,
                                   obs::Recorder* recorder,
-                                  sim::QueuePolicy queue) {
+                                  sim::QueuePolicy queue,
+                                  const fault::Plan* faults) {
   WCDS_REQUIRE(g.node_count() > 0, "run_algorithm2: empty graph");
   WCDS_REQUIRE(graph::is_connected(g),
                "run_algorithm2: graph must be connected");
   obs::Recorder* rec = obs::recorder_or_global(recorder);
   obs::PhaseTimer total_timer(rec, "alg2/total");
-  sim::Runtime runtime(
-      g, [](NodeId) { return std::make_unique<Algorithm2Node>(); }, delays,
-      rec, queue);
+  const bool hardened = faults != nullptr;
+  std::unique_ptr<fault::Injector> injector;
+  if (hardened) {
+    injector = std::make_unique<fault::Injector>(*faults, g.node_count());
+  }
+  const sim::Runtime::NodeFactory factory =
+      hardened ? sim::Runtime::NodeFactory([](NodeId) {
+        return std::make_unique<fault::HardenedNode>(
+            std::make_unique<Algorithm2Node>());
+      })
+               : sim::Runtime::NodeFactory([](NodeId) {
+                   return std::make_unique<Algorithm2Node>();
+                 });
+  sim::Runtime runtime(g, factory, delays, rec, queue, injector.get());
   DistributedWcdsRun run;
   {
     obs::PhaseTimer run_timer(rec, "alg2/protocol_run");
@@ -215,6 +244,10 @@ DistributedWcdsRun run_algorithm2(const graph::Graph& g,
   }
   WCDS_REQUIRE_STATE(run.stats.quiescent,
                      "run_algorithm2: event budget exceeded");
+  if (hardened) {
+    injector->record_metrics(rec);
+    fault::record_transport_metrics(runtime, rec);
+  }
   obs::PhaseTimer extract_timer(rec, "alg2/extract");
 
   const std::size_t n = g.node_count();
@@ -222,7 +255,7 @@ DistributedWcdsRun run_algorithm2(const graph::Graph& g,
   r.mask.assign(n, false);
   r.color.assign(n, core::NodeColor::kGray);
   for (NodeId u = 0; u < n; ++u) {
-    const auto& node = static_cast<const Algorithm2Node&>(runtime.node(u));
+    const auto& node = as_algorithm2(runtime, u, hardened);
     if (node.is_mis_dominator()) {
       r.mis_dominators.push_back(u);
       r.mask[u] = true;

@@ -30,6 +30,7 @@
 //     (w, v, x) to its 3HopDomList and unicasts SELECTION to v.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +41,10 @@
 #include "sim/runtime.h"
 #include "wcds/algorithm2.h"
 #include "wcds/wcds_result.h"
+
+namespace wcds::fault {
+struct Plan;
+}  // namespace wcds::fault
 
 namespace wcds::protocols {
 
@@ -101,6 +106,10 @@ class Algorithm2Node final : public sim::ProtocolNode {
   std::vector<NodeId> one_hop_doms_;
   std::vector<core::TwoHopEntry> two_hop_doms_;
   std::vector<core::ThreeHopEntry> three_hop_doms_;
+
+  // SELECTION payloads already confirmed; makes rule 9 duplicate-safe (a
+  // replayed SELECTION must not re-broadcast the confirmation).  Sorted.
+  std::vector<std::array<std::uint32_t, 4>> confirmed_selections_;
 };
 
 struct DistributedWcdsRun {
@@ -121,9 +130,16 @@ struct DistributedWcdsRun {
 // `queue` selects the sim's event-queue implementation; the default flat
 // queue is the production path, the reference map exists for differential
 // tests and benchmarks (both deliver in identical (time, seq) order).
+// `faults` (null = the perfect radio, zero overhead) injects the plan's
+// deterministic losses/duplicates/jitter/crashes; the protocol then runs
+// wrapped in the fault::HardenedNode reliable transport and must still
+// converge to an audited WCDS — and, because the MIS rule's fixpoint is
+// timing-independent, to the exact MIS of the fault-free run.  Requires the
+// flat queue.
 [[nodiscard]] DistributedWcdsRun run_algorithm2(
     const graph::Graph& g, const sim::DelayModel& delays = sim::DelayModel::unit(),
     obs::Recorder* recorder = nullptr,
-    sim::QueuePolicy queue = sim::QueuePolicy::kFlat);
+    sim::QueuePolicy queue = sim::QueuePolicy::kFlat,
+    const fault::Plan* faults = nullptr);
 
 }  // namespace wcds::protocols

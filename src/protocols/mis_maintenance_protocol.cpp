@@ -109,6 +109,11 @@ void MisMaintenanceNode::reevaluate(sim::DynamicContext& ctx) {
   }
 }
 
+void MisMaintenanceNode::reannounce(sim::DynamicContext& ctx) {
+  ctx.broadcast(kMsgColor, {static_cast<std::uint32_t>(color_)});
+  reevaluate(ctx);
+}
+
 MisMaintenanceSession::MisMaintenanceSession(const graph::Graph& initial,
                                              const sim::DelayModel& delays)
     : runtime_(
@@ -124,6 +129,45 @@ bool MisMaintenanceSession::update(const graph::Graph& next,
                                    std::uint64_t max_events) {
   runtime_.apply_topology(next);
   return stabilize(max_events);
+}
+
+void MisMaintenanceSession::set_loss(double drop, std::uint64_t seed) {
+  runtime_.set_loss(drop, seed);
+}
+
+bool MisMaintenanceSession::converged() const {
+  const std::vector<bool> mask = mis_mask();
+  for (NodeId u = 0; u < runtime_.node_count(); ++u) {
+    const auto row = runtime_.neighbors(u);
+    if (mask[u]) {
+      // Independence: no two adjacent dominators.
+      for (NodeId v : row) {
+        if (mask[v]) return false;
+      }
+    } else {
+      // Domination: every non-dominator hears one (isolated nodes must
+      // self-promote, so an isolated non-dominator is a liveness failure).
+      const bool dominated =
+          std::any_of(row.begin(), row.end(), [&](NodeId v) { return mask[v]; });
+      if (!dominated) return false;
+    }
+  }
+  return true;
+}
+
+bool MisMaintenanceSession::watchdog(std::size_t max_rounds,
+                                     std::uint64_t max_events) {
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    if (converged()) return true;
+    for (NodeId u = 0; u < runtime_.node_count(); ++u) {
+      runtime_.with_node(u, [](sim::DynamicContext& ctx,
+                              sim::DynamicProtocolNode& node) {
+        static_cast<MisMaintenanceNode&>(node).reannounce(ctx);
+      });
+    }
+    if (!stabilize(max_events)) return false;
+  }
+  return converged();
 }
 
 std::vector<bool> MisMaintenanceSession::mis_mask() const {

@@ -55,6 +55,12 @@ class MisMaintenanceNode final : public sim::DynamicProtocolNode {
   [[nodiscard]] Color color() const { return color_; }
   [[nodiscard]] bool is_dominator() const { return color_ == Color::kBlack; }
 
+  // Watchdog nudge: re-announce the current color (repairing neighbors'
+  // knowledge holes left by lost COLOR messages) and re-evaluate the local
+  // rules.  Safe to call at any quiescent point; a no-op network-wise when
+  // nothing was lost (the announcement is re-sent but changes no state).
+  void reannounce(sim::DynamicContext& ctx);
+
  private:
   void set_color(sim::DynamicContext& ctx, Color next);
   void reevaluate(sim::DynamicContext& ctx);
@@ -79,6 +85,23 @@ class MisMaintenanceSession {
 
   // Change the topology (link events fire), then stabilize.
   bool update(const graph::Graph& next, std::uint64_t max_events = 10'000'000);
+
+  // Seeded per-copy message loss on the underlying radio (0 restores
+  // reliability).  Under loss, stabilize() may quiesce on a *wrong* state —
+  // run the watchdog afterwards to restore convergence.
+  void set_loss(double drop, std::uint64_t seed);
+
+  // True when the black nodes form an MIS of the current topology
+  // (independent + every node dominated) — the liveness predicate the
+  // watchdog drives toward.
+  [[nodiscard]] bool converged() const;
+
+  // Liveness watchdog: while not converged(), have every node re-announce
+  // its color and re-stabilize, up to `max_rounds` rounds.  Lost COLOR
+  // messages leave knowledge holes that quiescence alone cannot see; the
+  // re-announcements close them.  Returns converged().
+  bool watchdog(std::size_t max_rounds = 8,
+                std::uint64_t max_events = 10'000'000);
 
   [[nodiscard]] std::vector<bool> mis_mask() const;
   [[nodiscard]] const sim::DynamicRunStats& stats() const {

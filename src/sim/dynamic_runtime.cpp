@@ -65,6 +65,20 @@ SimTime DynamicRuntime::schedule_delivery(NodeId src, NodeId recipient,
   return at;
 }
 
+void DynamicRuntime::set_loss(double drop, std::uint64_t seed) {
+  WCDS_REQUIRE(drop >= 0.0 && drop < 1.0,
+               "DynamicRuntime: loss probability must be in [0, 1)");
+  loss_prob_ = drop;
+  loss_rng_ = geom::Xoshiro256ss(seed);
+}
+
+bool DynamicRuntime::lose_copy() {
+  if (loss_prob_ == 0.0) return false;
+  if (loss_rng_.next_double() >= loss_prob_) return false;
+  ++stats_.dropped;
+  return true;
+}
+
 void DynamicRuntime::send(NodeId src, SimTime now, NodeId dst,
                           MessageType type,
                           std::vector<std::uint32_t> payload) {
@@ -72,6 +86,7 @@ void DynamicRuntime::send(NodeId src, SimTime now, NodeId dst,
   if (dst == kBroadcastDst) {
     ++stats_.transmissions;
     for (NodeId v : adjacency_[src]) {
+      if (lose_copy()) continue;
       queue_.emplace(std::pair{schedule_delivery(src, v, now), send_seq_},
                      PendingDelivery{msg, v});
       ++send_seq_;
@@ -82,6 +97,7 @@ void DynamicRuntime::send(NodeId src, SimTime now, NodeId dst,
       ++stats_.dropped;  // stale neighbor knowledge: the radio misses
       return;
     }
+    if (lose_copy()) return;
     queue_.emplace(std::pair{schedule_delivery(src, dst, now), send_seq_},
                    PendingDelivery{std::move(msg), dst});
     ++send_seq_;

@@ -86,6 +86,23 @@ class DynamicRuntime {
   // call run_to_quiescence() to let the protocol settle.
   void apply_topology(const graph::Graph& next);
 
+  // Seeded per-copy message loss: every delivery copy is independently
+  // dropped with probability `drop` at send time (counted in stats().
+  // dropped).  Maintenance protocols must stay convergent under loss —
+  // that is what the MisMaintenanceSession watchdog repairs.  `drop` = 0
+  // restores the reliable radio.
+  void set_loss(double drop, std::uint64_t seed);
+
+  // Run `fn(ctx, node)` on node u at the current simulated time — the hook
+  // a liveness watchdog uses to nudge a protocol (e.g. re-announce local
+  // state after suspected message loss).  Deliveries the nudge generates
+  // stay queued until the next run_to_quiescence().
+  template <typename Fn>
+  void with_node(NodeId u, Fn&& fn) {
+    DynamicContext ctx(*this, u, stats_.now);
+    fn(ctx, *nodes_[u]);
+  }
+
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const {
     return adjacency_[u];
   }
@@ -104,6 +121,8 @@ class DynamicRuntime {
 
   void send(NodeId src, SimTime now, NodeId dst, MessageType type,
             std::vector<std::uint32_t> payload);
+  // One seeded loss decision per delivery copy; counts into stats_.dropped.
+  [[nodiscard]] bool lose_copy();
   // Delivery time honoring the delay model and per-link FIFO (radio links
   // never reorder; protocol state machines rely on it).
   [[nodiscard]] SimTime schedule_delivery(NodeId src, NodeId recipient,
@@ -116,6 +135,8 @@ class DynamicRuntime {
   DynamicRunStats stats_;
   DelayModel delays_;
   geom::Xoshiro256ss delay_rng_;
+  double loss_prob_ = 0.0;
+  geom::Xoshiro256ss loss_rng_{0};
   std::map<std::pair<NodeId, NodeId>, SimTime> link_clock_;
   bool started_ = false;
 };

@@ -8,9 +8,47 @@
 namespace wcds::sim {
 namespace {
 
-// Strict total order on (time, seq); seq is unique per delivery.
+// Strict total order on (time, seq); seq is unique per event (deliveries and
+// timers share the counter, so the merged order is total).
 [[nodiscard]] bool earlier(const auto& a, const auto& b) {
   return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+}
+
+// Contiguous binary min-heap primitives shared by the delivery heap and the
+// timer heap (both keyed by `earlier`).
+template <typename T>
+void sift_up(std::vector<T>& heap) {
+  std::size_t i = heap.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(heap[i], heap[parent])) break;
+    std::swap(heap[i], heap[parent]);
+    i = parent;
+  }
+}
+
+template <typename T>
+T pop_min(std::vector<T>& heap) {
+  const T top = heap.front();
+  const T last = heap.back();
+  heap.pop_back();
+  const std::size_t n = heap.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      if (left >= n) break;
+      std::size_t child = left;
+      if (left + 1 < n && earlier(heap[left + 1], heap[left])) {
+        child = left + 1;
+      }
+      if (!earlier(heap[child], last)) break;
+      heap[i] = heap[child];
+      i = child;
+    }
+    heap[i] = last;
+  }
+  return top;
 }
 
 }  // namespace
@@ -30,13 +68,20 @@ void Context::unicast(NodeId dst, MessageType type,
   runtime_.send(self_, now_, dst, type, std::move(payload));
 }
 
+void Context::set_timer(SimTime delay, std::uint64_t token) {
+  runtime_.schedule_timer(self_, now_ + delay, token);
+}
+
 Runtime::Runtime(const graph::Graph& g, const NodeFactory& factory,
                  const DelayModel& delays, obs::Recorder* recorder,
-                 QueuePolicy policy)
+                 QueuePolicy policy, FaultHook* faults)
     : graph_(g), policy_(policy), delays_(delays),
-      delay_rng_(delays.seed + 1), recorder_(recorder) {
+      delay_rng_(delays.seed + 1), recorder_(recorder), fault_(faults) {
   WCDS_REQUIRE(delays_.min_delay >= 1 && delays_.max_delay >= delays_.min_delay,
                "Runtime: invalid delay model");
+  WCDS_REQUIRE(fault_ == nullptr || policy_ == QueuePolicy::kFlat,
+               "Runtime: fault injection requires the flat queue policy "
+               "(the reference map exists only as a fault-free oracle)");
   if (!delays_.is_unit()) {
     // Zero-initialized clocks need no first-send branch: every real delivery
     // time is >= 1, so max(at, 0 + 1) leaves a first send untouched.
@@ -90,6 +135,8 @@ std::uint32_t Runtime::acquire_slot(NodeId src, NodeId dst, MessageType type,
   return slot;
 }
 
+void Runtime::add_ref(std::uint32_t slot) { ++pool_[slot].refs; }
+
 void Runtime::release_ref(std::uint32_t slot) {
   PoolSlot& entry = pool_[slot];
   WCDS_DCHECK(entry.refs > 0, "Runtime: pool slot over-released");
@@ -97,7 +144,7 @@ void Runtime::release_ref(std::uint32_t slot) {
 }
 
 void Runtime::enqueue_flat(const PendingDelivery& delivery) {
-  if (delays_.is_unit()) {
+  if (use_calendar()) {
     // Unit delays: every new delivery is due exactly one step after the one
     // being processed, so it belongs to the next calendar bucket; appending
     // preserves seq order within the step.
@@ -112,41 +159,32 @@ void Runtime::enqueue_flat(const PendingDelivery& delivery) {
 
 void Runtime::heap_push(const PendingDelivery& delivery) {
   heap_.push_back(delivery);
-  std::size_t i = heap_.size() - 1;
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!earlier(heap_[i], heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
-  }
+  sift_up(heap_);
 }
 
-Runtime::PendingDelivery Runtime::heap_pop() {
-  const PendingDelivery top = heap_.front();
-  const PendingDelivery last = heap_.back();
-  heap_.pop_back();
-  const std::size_t n = heap_.size();
-  if (n > 0) {
-    std::size_t i = 0;
-    while (true) {
-      const std::size_t left = 2 * i + 1;
-      if (left >= n) break;
-      std::size_t child = left;
-      if (left + 1 < n && earlier(heap_[left + 1], heap_[left])) {
-        child = left + 1;
-      }
-      if (!earlier(heap_[child], last)) break;
-      heap_[i] = heap_[child];
-      i = child;
-    }
-    heap_[i] = last;
-  }
-  return top;
+Runtime::PendingDelivery Runtime::heap_pop() { return pop_min(heap_); }
+
+void Runtime::timer_push(const TimerEvent& event) {
+  timer_heap_.push_back(event);
+  sift_up(timer_heap_);
+}
+
+Runtime::TimerEvent Runtime::timer_pop() { return pop_min(timer_heap_); }
+
+void Runtime::schedule_timer(NodeId node, SimTime at, std::uint64_t token) {
+  WCDS_REQUIRE_STATE(
+      policy_ == QueuePolicy::kFlat && !use_calendar(),
+      "Runtime: timers require an async delay model or a fault hook (the "
+      "unit-delay calendar cannot host arbitrary-delay events)");
+  timer_push({at, send_seq_, token, node});
+  ++send_seq_;
 }
 
 std::size_t Runtime::queue_size() const {
+  // Pending local timers are node-internal clocks, not queued deliveries,
+  // so they do not count toward the depth.
   if (policy_ == QueuePolicy::kReferenceMap) return ref_queue_.size();
-  if (delays_.is_unit()) {
+  if (use_calendar()) {
     return (bucket_now_.size() - bucket_pos_) + bucket_next_.size();
   }
   return heap_.size();
@@ -154,12 +192,69 @@ std::size_t Runtime::queue_size() const {
 
 void Runtime::send(NodeId src, SimTime now, NodeId dst, MessageType type,
                    std::vector<std::uint32_t> payload) {
+  if (fault_ != nullptr) [[unlikely]] {
+    // A crashed sender's radio is off: the transmission never happens, so
+    // it is not part of the paper's message complexity either.
+    if (fault_->send_blocked(src, now)) return;
+    ++stats_.transmissions;
+    count_type(type);
+    send_faulty(src, now, dst, type, std::move(payload));
+    return;
+  }
   ++stats_.transmissions;
   count_type(type);
   if (policy_ == QueuePolicy::kReferenceMap) {
     send_reference(src, now, dst, type, std::move(payload));
   } else {
     send_flat(src, now, dst, type, std::move(payload));
+  }
+}
+
+std::uint32_t Runtime::enqueue_faulty_copy(std::uint32_t slot,
+                                           NodeId recipient,
+                                           std::size_t link_slot,
+                                           SimTime now) {
+  if (fault_->drop_copy(link_slot)) return 0;
+  const std::uint32_t copies = fault_->duplicate_copy(link_slot) ? 2U : 1U;
+  for (std::uint32_t copy = 0; copy < copies; ++copy) {
+    // Each copy (the duplicate too) draws its own jitter, so duplicates may
+    // overtake the original — exactly the reordering a hardened protocol
+    // must survive.
+    const SimTime at = delivery_time(link_slot, now) + fault_->extra_delay();
+    add_ref(slot);
+    heap_push({at, send_seq_, slot, recipient});
+    ++send_seq_;
+  }
+  return copies;
+}
+
+void Runtime::send_faulty(NodeId src, SimTime now, NodeId dst,
+                          MessageType type,
+                          std::vector<std::uint32_t>&& payload) {
+  if (dst == kBroadcastDst) {
+    const auto neighbors = graph_.neighbors(src);
+    if (!neighbors.empty()) {
+      // The extra guard ref keeps the slot alive across the loop and frees
+      // it immediately when every copy was dropped.
+      const std::uint32_t slot =
+          acquire_slot(src, dst, type, std::move(payload), 1);
+      const std::size_t base = graph_.row_begin(src);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        enqueue_faulty_copy(slot, neighbors[i], base + i, now);
+      }
+      release_ref(slot);
+    }
+    if (recorder_ != nullptr) [[unlikely]] record_send(src, dst, type, now);
+  } else {
+    const std::size_t link_slot = graph_.edge_slot(src, dst);
+    WCDS_REQUIRE_STATE(link_slot != graph::Graph::kNoSlot,
+                       "Runtime: unicast " << src << " -> " << dst
+                                           << " to a non-neighbor");
+    const std::uint32_t slot =
+        acquire_slot(src, dst, type, std::move(payload), 1);
+    if (recorder_ != nullptr) [[unlikely]] record_send(src, dst, type, now);
+    enqueue_faulty_copy(slot, dst, link_slot, now);
+    release_ref(slot);
   }
 }
 
@@ -301,7 +396,7 @@ RunStats Runtime::run(std::uint64_t max_events) {
       Context ctx(*this, delivery.recipient, delivery.time);
       nodes_[delivery.recipient]->on_receive(ctx, delivery.message);
     }
-  } else if (delays_.is_unit()) {
+  } else if (use_calendar()) {
     while (true) {
       if (bucket_pos_ == bucket_now_.size()) {
         // Step the calendar: the next bucket becomes current; swap + clear
@@ -328,12 +423,30 @@ RunStats Runtime::run(std::uint64_t max_events) {
       release_ref(delivery.slot);
     }
   } else {
-    while (!heap_.empty()) {
+    while (!heap_.empty() || !timer_heap_.empty()) {
       if (++events > max_events) {
         finalize_stats(false);
         return stats_;
       }
+      // Merge the delivery and timer heaps on the shared (time, seq) key;
+      // seq is globally unique, so the pick is deterministic.
+      if (!timer_heap_.empty() &&
+          (heap_.empty() || earlier(timer_heap_.front(), heap_.front()))) {
+        const TimerEvent timer = timer_pop();
+        ++stats_.timer_fires;
+        Context ctx(*this, timer.node, timer.time);
+        nodes_[timer.node]->on_timer(ctx, timer.token);
+        continue;
+      }
       const PendingDelivery delivery = heap_pop();
+      if (fault_ != nullptr &&
+          fault_->receive_blocked(delivery.recipient, delivery.time))
+          [[unlikely]] {
+        // Recipient radio is off: the copy evaporates without touching
+        // delivery stats or the recipient's state.
+        release_ref(delivery.slot);
+        continue;
+      }
       ++stats_.deliveries;
       stats_.completion_time = delivery.time;
       PoolSlot& entry = pool_[delivery.slot];

@@ -41,6 +41,7 @@
 #include "graph/graph.h"
 #include "graph/types.h"
 #include "obs/recorder.h"
+#include "sim/fault_hook.h"
 #include "sim/message.h"
 
 namespace wcds::sim {
@@ -76,11 +77,16 @@ enum class QueuePolicy : std::uint8_t {
 class Runtime;
 
 // Per-delivery view handed to protocol handlers; the only way a node may act
-// on the network.
+// on the network.  The send methods are virtual so a transport shim (the
+// fault layer's FrameContext) can interpose on a wrapped node's sends while
+// inheriting the read-only accessors.
 class Context {
  public:
   Context(Runtime& runtime, NodeId self, SimTime now)
       : runtime_(runtime), self_(self), now_(now) {}
+  virtual ~Context() = default;
+  Context(const Context&) = default;
+  Context& operator=(const Context&) = delete;
 
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] SimTime now() const { return now_; }
@@ -88,11 +94,20 @@ class Context {
   [[nodiscard]] std::size_t node_count() const;
 
   // One radio transmission heard by every neighbor.
-  void broadcast(MessageType type, std::vector<std::uint32_t> payload = {});
+  virtual void broadcast(MessageType type,
+                         std::vector<std::uint32_t> payload = {});
 
   // One transmission addressed to a single neighbor (must be adjacent).
-  void unicast(NodeId dst, MessageType type,
-               std::vector<std::uint32_t> payload = {});
+  virtual void unicast(NodeId dst, MessageType type,
+                       std::vector<std::uint32_t> payload = {});
+
+  // Arm a local timer: ProtocolNode::on_timer(token) fires on this node
+  // after `delay` time units.  Timers are node-internal clocks — they do
+  // not touch the radio, are never faulted (a crashed node's CPU keeps
+  // ticking; only its radio is off), and count neither as transmissions nor
+  // deliveries.  Only available under an async delay model or a fault hook
+  // (the unit-delay calendar cannot host arbitrary-delay events).
+  void set_timer(SimTime delay, std::uint64_t token);
 
  private:
   Runtime& runtime_;
@@ -106,11 +121,18 @@ class ProtocolNode {
   virtual ~ProtocolNode() = default;
   virtual void on_start(Context& ctx) = 0;
   virtual void on_receive(Context& ctx, const Message& msg) = 0;
+  // Fires for timers armed via Context::set_timer; protocols that never arm
+  // one (everything outside the fault transport) keep the default no-op.
+  virtual void on_timer(Context& ctx, std::uint64_t token) {
+    static_cast<void>(ctx);
+    static_cast<void>(token);
+  }
 };
 
 struct RunStats {
   std::uint64_t transmissions = 0;          // paper's message complexity
   std::uint64_t deliveries = 0;             // per-recipient copies
+  std::uint64_t timer_fires = 0;            // local timer events (no radio)
   SimTime completion_time = 0;              // paper's time complexity
   // Post-run summary, not touched during delivery.
   std::map<MessageType, std::uint64_t> per_type;  // wcds-lint: allow(hot-path-alloc)
@@ -124,10 +146,19 @@ class Runtime {
   // Called once per node at construction, never during delivery.
   using NodeFactory = std::function<std::unique_ptr<ProtocolNode>(NodeId)>;  // wcds-lint: allow(hot-path-alloc)
 
+  // `faults` (null by default) injects deterministic message loss,
+  // duplication, delay noise and node crashes into the delivery path; see
+  // sim/fault_hook.h for the contract.  A non-null hook selects the
+  // (time, seq) min-heap queue even under unit delays — the rotating
+  // calendar assumes every delivery lands exactly one step out, which
+  // jitter and timers break — and requires the flat queue policy.  The
+  // null-hook path is byte-identical to a runtime built without the
+  // parameter (guarded by tests/fault_test.cpp).
   Runtime(const graph::Graph& g, const NodeFactory& factory,
           const DelayModel& delays = DelayModel::unit(),
           obs::Recorder* recorder = nullptr,
-          QueuePolicy policy = QueuePolicy::kFlat);
+          QueuePolicy policy = QueuePolicy::kFlat,
+          FaultHook* faults = nullptr);
 
   // Observability hook.  Null (the default) records nothing and keeps the
   // hot path at a single predicted branch per event, so benchmark timings
@@ -149,6 +180,7 @@ class Runtime {
   [[nodiscard]] const ProtocolNode& node(NodeId u) const { return *nodes_[u]; }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] QueuePolicy queue_policy() const noexcept { return policy_; }
+  [[nodiscard]] FaultHook* fault_hook() const noexcept { return fault_; }
 
  private:
   friend class Context;
@@ -184,18 +216,44 @@ class Runtime {
                  std::vector<std::uint32_t>&& payload);
   void send_reference(NodeId src, SimTime now, NodeId dst, MessageType type,
                       std::vector<std::uint32_t>&& payload);
+  // Fault-plan slow path: per-copy drop/duplicate/jitter decisions.
+  void send_faulty(NodeId src, SimTime now, NodeId dst, MessageType type,
+                   std::vector<std::uint32_t>&& payload);
+  // Enqueue one copy for `recipient` honoring the fault hook; returns the
+  // number of copies scheduled (0 dropped, 1, or 2 duplicated).
+  std::uint32_t enqueue_faulty_copy(std::uint32_t slot, NodeId recipient,
+                                    std::size_t link_slot, SimTime now);
 
   // Pool bookkeeping (flat policy only).
   [[nodiscard]] std::uint32_t acquire_slot(NodeId src, NodeId dst,
                                            MessageType type,
                                            std::vector<std::uint32_t>&& payload,
                                            std::uint32_t refs);
+  void add_ref(std::uint32_t slot);
   void release_ref(std::uint32_t slot);
 
   // Flat-queue primitives.
   void enqueue_flat(const PendingDelivery& delivery);
   void heap_push(const PendingDelivery& delivery);
   [[nodiscard]] PendingDelivery heap_pop();
+
+  // Whether unit-delay deliveries may use the two-bucket calendar (false
+  // once a fault hook is installed: jitter and timers need the heap).
+  [[nodiscard]] bool use_calendar() const {
+    return delays_.is_unit() && fault_ == nullptr;
+  }
+
+  // Local timer events; ordered with deliveries by the shared (time, seq)
+  // key, so runs stay exactly reproducible.
+  struct TimerEvent {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint64_t token;
+    NodeId node;
+  };
+  void schedule_timer(NodeId node, SimTime at, std::uint64_t token);
+  void timer_push(const TimerEvent& event);
+  [[nodiscard]] TimerEvent timer_pop();
 
   void count_type(MessageType type);
 
@@ -233,6 +291,10 @@ class Runtime {
   // (time, seq).  seq is unique, so the order is total and deterministic.
   std::vector<PendingDelivery> heap_;
 
+  // Timer min-heap, same (time, seq) key; only populated by Context::
+  // set_timer (the fault transport's retransmit clock).
+  std::vector<TimerEvent> timer_heap_;
+
   // Message pool.  A deque gives stable references: a handler may broadcast
   // (growing the pool) while it still reads the pooled message it was
   // handed.
@@ -256,6 +318,7 @@ class Runtime {
   // adjacency slot; only materialized under an async delay model.
   std::vector<SimTime> link_clock_;
   obs::Recorder* recorder_ = nullptr;
+  FaultHook* fault_ = nullptr;
   std::uint64_t max_queue_depth_ = 0;  // tracked only while recording
 };
 

@@ -1,9 +1,12 @@
 // Dynamic WCDS maintenance: invariants after every mobility event, locality
 // of repairs.
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "geom/rng.h"
 #include "geom/workload.h"
+#include "fault/schedule.h"
 #include "maintenance/dynamic_wcds.h"
 
 namespace wcds::maintenance {
@@ -129,6 +132,36 @@ TEST(DynamicWcds, ChurnStress) {
         break;
     }
     ASSERT_TRUE(dyn.audit().ok()) << "event " << step << " on node " << u;
+  }
+}
+
+TEST(DynamicWcds, ChurnWithCrashScheduleStaysAuditClean) {
+  // Waves of mobility churn interleaved with crash/recover storms: the
+  // combination the fault layer's A6 experiment measures.  Invariants must
+  // hold after every wave, and the schedule must report one outcome per
+  // victim with non-negative repair timings.
+  constexpr std::uint32_t kNodes = 150;
+  DynamicWcds dyn(deployment(kNodes, 10.0, 21));
+  geom::Xoshiro256ss rng(77);
+  const double side = geom::side_for_expected_degree(kNodes, 10.0);
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int event = 0; event < 8; ++event) {
+      const auto u = static_cast<NodeId>(rng.next_below(kNodes));
+      (void)dyn.move_node(u, {rng.next_double(0.0, side),
+                              rng.next_double(0.0, side)});
+    }
+    std::vector<NodeId> victims;
+    while (victims.size() < 3) {
+      const auto v = static_cast<NodeId>(rng.next_below(kNodes));
+      if (dyn.is_active(v) &&
+          std::find(victims.begin(), victims.end(), v) == victims.end()) {
+        victims.push_back(v);
+      }
+    }
+    const auto report = fault::run_crash_schedule(dyn, victims);
+    ASSERT_EQ(report.outcomes.size(), victims.size()) << "wave " << wave;
+    EXPECT_GE(report.total_repair_ms, 0.0);
+    ASSERT_TRUE(dyn.audit().ok()) << "wave " << wave;
   }
 }
 

@@ -201,6 +201,54 @@ TEST(MisMaintenance, MobilityChurnKeepsMisValid) {
   }
 }
 
+TEST(MisMaintenance, ChurnUnderMessageLossRecoversViaWatchdog) {
+  // Topology churn while every message copy independently rolls a 20% loss.
+  // Lost COLOR announcements can strand stale knowledge, so plain
+  // stabilization no longer guarantees a valid MIS — the liveness watchdog
+  // (re-announce everywhere, restabilize, repeat) must close the gaps.
+  const std::uint32_t n = 100;
+  const double side = geom::side_for_expected_degree(n, 10.0);
+  auto points = geom::uniform_square(n, side, 5);
+  MisMaintenanceSession session(udg::build_udg(points));
+  ASSERT_TRUE(session.stabilize());
+  session.set_loss(0.2, 77);
+  geom::Xoshiro256ss rng(42);
+  for (int step = 0; step < 15; ++step) {
+    const auto u = static_cast<NodeId>(rng.next_below(n));
+    points[u].x += rng.next_double(-1.0, 1.0);
+    points[u].y += rng.next_double(-1.0, 1.0);
+    const auto g = udg::build_udg(points);
+    ASSERT_TRUE(session.update(g)) << "step " << step;
+    ASSERT_TRUE(session.watchdog()) << "step " << step;
+    expect_valid_mis(g, session.mis_mask(), "lossy churn step");
+  }
+}
+
+TEST(MisMaintenance, CrashRecoverUnderLossConverges) {
+  // Crash a node (all its links vanish), then bring it back — both under
+  // 15% message loss.  The MIS must be valid over the survivor topology
+  // while the node is down and again after it recovers.
+  const std::uint32_t n = 90;
+  const double side = geom::side_for_expected_degree(n, 10.0);
+  auto points = geom::uniform_square(n, side, 8);
+  MisMaintenanceSession session(udg::build_udg(points));
+  ASSERT_TRUE(session.stabilize());
+  session.set_loss(0.15, 31);
+  for (const NodeId victim : {NodeId{7}, NodeId{42}}) {
+    const geom::Point home = points[victim];
+    points[victim] = {1e6 + victim, 1e6};  // out of everyone's range
+    const auto down_graph = udg::build_udg(points);
+    ASSERT_TRUE(session.update(down_graph));
+    ASSERT_TRUE(session.watchdog()) << "victim " << victim << " down";
+    expect_valid_mis(down_graph, session.mis_mask(), "victim down");
+    points[victim] = home;
+    const auto up_graph = udg::build_udg(points);
+    ASSERT_TRUE(session.update(up_graph));
+    ASSERT_TRUE(session.watchdog()) << "victim " << victim << " recovered";
+    expect_valid_mis(up_graph, session.mis_mask(), "victim recovered");
+  }
+}
+
 TEST(MisMaintenance, WorksUnderAsyncDelays) {
   const auto inst = testing::connected_udg(100, 9.0, 7);
   MisMaintenanceSession session(inst.g, sim::DelayModel::uniform(1, 5, 17));

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include "geom/workload.h"
+#include "mis/mis.h"
 #include "mobility/models.h"
+#include "protocols/mis_maintenance_protocol.h"
+#include "udg/udg.h"
 
 namespace wcds::mobility {
 namespace {
@@ -129,6 +132,26 @@ TEST(ReferencePointGroup, MembersStayNearReference) {
     }
   }
   EXPECT_TRUE(inside(pts, arena));
+}
+
+TEST(MobilityUnderLoss, WaypointTrajectoryKeepsMaintainedMisValid) {
+  // End-to-end churn x loss: a random-waypoint trajectory drives topology
+  // updates into the distributed MIS maintenance session while 15% of all
+  // message copies are lost; the watchdog restores convergence per step.
+  const ArenaBox arena{8.0, 8.0};
+  RandomWaypoint model(start_positions(60, 8.0, 11), arena, {}, 13);
+  protocols::MisMaintenanceSession session(
+      udg::build_udg(model.positions()));
+  ASSERT_TRUE(session.stabilize());
+  session.set_loss(0.15, 5);
+  for (int step = 0; step < 10; ++step) {
+    model.step(0.4);
+    const auto g = udg::build_udg(model.positions());
+    ASSERT_TRUE(session.update(g)) << "step " << step;
+    ASSERT_TRUE(session.watchdog()) << "step " << step;
+    EXPECT_TRUE(mis::is_maximal_independent_set(g, session.mis_mask()))
+        << "step " << step;
+  }
 }
 
 TEST(ClampToArena, Clamps) {

@@ -76,6 +76,7 @@ struct Config {
       "src/sim/runtime.h",
       "src/sim/runtime.cpp",
       "src/sim/message.h",
+      "src/sim/fault_hook.h",
   };
 
   // Contents of the metric registry document; empty disables
