@@ -12,7 +12,7 @@
 // and message cost of re-convergence (watchdog included).
 //
 // A6c times the event-driven maintenance layer's crash/recover repairs
-// (fault::run_crash_schedule over maintenance::DynamicWcds) — the paper's
+// (maintenance::run_crash_schedule over maintenance::DynamicWcds) — the paper's
 // 3-hop locality claim is what keeps these flat as n grows.
 #include "bench_common.h"
 
@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "fault/plan.h"
-#include "fault/schedule.h"
+#include "maintenance/crash_schedule.h"
 #include "maintenance/dynamic_wcds.h"
 #include "protocols/algorithm1_protocol.h"
 #include "protocols/algorithm2_protocol.h"
@@ -165,7 +165,7 @@ void print_a6c() {
     }
     std::sort(victims.begin(), victims.end());
     victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
-    const auto report = fault::run_crash_schedule(dyn, victims);
+    const auto report = maintenance::run_crash_schedule(dyn, victims);
     std::vector<double> crash_ms, recover_ms;
     for (const auto& outcome : report.outcomes) {
       crash_ms.push_back(outcome.crash_ms);

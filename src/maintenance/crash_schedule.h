@@ -1,8 +1,11 @@
 // Crash/recover schedules over the maintained backbone.
 //
 // The message-passing protocols take their faults from fault::Plan via the
-// runtime hook; the event-driven maintenance layer (maintenance::
-// DynamicWcds) takes them here, as explicit radio-off / radio-on events.
+// runtime hook; the event-driven maintenance layer (DynamicWcds) takes them
+// here, as explicit radio-off / radio-on events.  This lives in
+// maintenance/ (not fault/) because it drives DynamicWcds directly: the
+// declared layer DAG puts fault/ below maintenance/, and the include graph
+// must follow it (wcds_lint layer-dag).
 // Each crash and each recovery runs the paper's localized repair and is
 // timed; the wall-clock repair latencies land in the `fault/repair_ms`
 // histogram so the A6 experiment can report loss-rate vs recovery-time.
@@ -16,13 +19,13 @@
 #include "maintenance/dynamic_wcds.h"
 #include "obs/recorder.h"
 
-namespace wcds::fault {
+namespace wcds::maintenance {
 
 // One crash/recover pair as applied to the maintained structure.
 struct CrashOutcome {
   NodeId node = kInvalidNode;
-  maintenance::RepairReport crash_repair;
-  maintenance::RepairReport recover_repair;
+  RepairReport crash_repair;
+  RepairReport recover_repair;
   double crash_ms = 0.0;
   double recover_ms = 0.0;
 };
@@ -37,8 +40,8 @@ struct CrashScheduleReport {
 // callers assert the final state.  Victims must be active and are restored
 // before the next victim crashes (sequential outages).  `recorder` (null ok)
 // receives one `fault/repair_ms` observation per repair.
-CrashScheduleReport run_crash_schedule(maintenance::DynamicWcds& wcds,
+CrashScheduleReport run_crash_schedule(DynamicWcds& wcds,
                                        std::span<const NodeId> victims,
                                        obs::Recorder* recorder = nullptr);
 
-}  // namespace wcds::fault
+}  // namespace wcds::maintenance

@@ -80,7 +80,7 @@ class DynamicWcds {
   // Liveness watchdog: audit the maintained invariants and, when any fail,
   // run a repair pass seeded at every node.  Per-event localized repairs
   // keep the invariants by construction, so this is the recovery path for
-  // compound fault sequences (crash storms via fault::run_crash_schedule)
+  // compound fault sequences (crash storms via maintenance::run_crash_schedule)
   // or external state perturbation.  Returns the all-zero report when the
   // audit already passed.
   RepairReport watchdog();

@@ -27,7 +27,7 @@
 #include "fault/hardened.h"
 #include "fault/injector.h"
 #include "fault/plan.h"
-#include "fault/schedule.h"
+#include "maintenance/crash_schedule.h"
 #include "geom/workload.h"
 #include "graph/graph.h"
 #include "maintenance/dynamic_wcds.h"
@@ -370,7 +370,7 @@ TEST(FaultSchedule, CrashRecoverKeepsBackboneAuditClean) {
   ASSERT_TRUE(dyn.audit().ok());
   obs::Recorder recorder;
   const std::vector<NodeId> victims = {3, 40, 77, 111};
-  const auto report = fault::run_crash_schedule(dyn, victims, &recorder);
+  const auto report = maintenance::run_crash_schedule(dyn, victims, &recorder);
   ASSERT_EQ(report.outcomes.size(), victims.size());
   EXPECT_TRUE(dyn.audit().ok());
   EXPECT_GE(report.total_repair_ms, 0.0);

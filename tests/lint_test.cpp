@@ -315,6 +315,304 @@ TEST(LintRules, IncludeHygieneSuppressed) {
 }
 
 // ---------------------------------------------------------------------------
+// no-unordered-iteration
+
+TEST(LintRules, NoUnorderedIterationRangeForFires) {
+  const auto diags = lint_one("src/sim/a.cpp",
+                              "#include <unordered_map>\n"
+                              "std::unordered_map<int, int> table;\n"
+                              "int sum() {\n"
+                              "  int s = 0;\n"
+                              "  for (const auto& [k, v] : table) s += v;\n"
+                              "  return s;\n"
+                              "}\n");
+  EXPECT_TRUE(has(diags, "no-unordered-iteration", 5));
+}
+
+TEST(LintRules, NoUnorderedIterationBeginWalkFires) {
+  const auto diags = lint_one("src/wcds/a.cpp",
+                              "#include <unordered_set>\n"
+                              "std::unordered_set<long> seen;\n"
+                              "long first() {\n"
+                              "  return *seen.begin();\n"
+                              "}\n");
+  EXPECT_TRUE(has(diags, "no-unordered-iteration", 4));
+}
+
+TEST(LintRules, NoUnorderedIterationSeesCrossFileMemberDecls) {
+  Linter linter;
+  linter.add_file("src/udg/grid.h",
+                  "#pragma once\n"
+                  "#include <unordered_map>\n"
+                  "struct Grid {\n"
+                  "  std::unordered_map<long, int> cells;\n"
+                  "};\n");
+  linter.add_file("src/udg/grid.cpp",
+                  "#include \"udg/grid.h\"\n"
+                  "int f(const Grid& g) {\n"
+                  "  int s = 0;\n"
+                  "  for (const auto& kv : g.cells) s += kv.second;\n"
+                  "  return s;\n"
+                  "}\n");
+  EXPECT_TRUE(has(linter.run(), "no-unordered-iteration", 4));
+}
+
+TEST(LintRules, NoUnorderedIterationTracksLocalAliases) {
+  const auto diags = lint_one("src/mis/a.cpp",
+                              "#include <unordered_map>\n"
+                              "using Table = std::unordered_map<int, int>;\n"
+                              "Table ranks;\n"
+                              "int f() {\n"
+                              "  int s = 0;\n"
+                              "  for (const auto& kv : ranks) s += kv.second;\n"
+                              "  return s;\n"
+                              "}\n");
+  EXPECT_TRUE(has(diags, "no-unordered-iteration", 6));
+}
+
+TEST(LintRules, NoUnorderedIterationScopeAndOrderedContainersClean) {
+  // io/ is not a trace-affecting module: lookups may stay unordered there.
+  EXPECT_TRUE(lint_one("src/io/a.cpp",
+                       "#include <unordered_map>\n"
+                       "std::unordered_map<int, int> table;\n"
+                       "int f() {\n"
+                       "  int s = 0;\n"
+                       "  for (const auto& [k, v] : table) s += v;\n"
+                       "  return s;\n"
+                       "}\n")
+                  .empty());
+  // Iterating an ordered container in a trace-affecting module is fine.
+  EXPECT_TRUE(lint_one("src/sim/a.cpp",
+                       "#include <vector>\n"
+                       "std::vector<int> queue_ids;\n"
+                       "int f() {\n"
+                       "  int s = 0;\n"
+                       "  for (int id : queue_ids) s += id;\n"
+                       "  return s;\n"
+                       "}\n")
+                  .empty());
+  // Point lookups into an unordered map are fine; only iteration leaks.
+  EXPECT_TRUE(lint_one("src/sim/a.cpp",
+                       "#include <unordered_map>\n"
+                       "std::unordered_map<int, int> table;\n"
+                       "int f(int k) { return table.at(k); }\n")
+                  .empty());
+}
+
+TEST(LintRules, NoUnorderedIterationSuppressedAndLexerImmune) {
+  EXPECT_TRUE(lint_one("src/sim/a.cpp",
+                       "#include <unordered_map>\n"
+                       "std::unordered_map<int, int> table;\n"
+                       "int f() {\n"
+                       "  int s = 0;\n"
+                       "  // wcds-lint: allow(no-unordered-iteration)\n"
+                       "  for (const auto& [k, v] : table) s += v;\n"
+                       "  return s;\n"
+                       "}\n")
+                  .empty());
+  // Comments and strings never produce iteration events.
+  EXPECT_TRUE(lint_one("src/sim/a.cpp",
+                       "// for (const auto& kv : table)\n"
+                       "auto s = \"std::unordered_map<int, int> table;\";\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// no-pointer-order
+
+TEST(LintRules, NoPointerOrderKeyedContainersFire) {
+  const auto diags = lint_one("src/mis/a.cpp",
+                              "#include <set>\n"
+                              "struct Node;\n"
+                              "std::set<Node*> frontier;\n");
+  EXPECT_TRUE(has(diags, "no-pointer-order", 3));
+}
+
+TEST(LintRules, NoPointerOrderHashAndLessFire) {
+  const auto diags = lint_one("src/wcds/a.h",
+                              "#pragma once\n"
+                              "struct Node;\n"
+                              "using Order = std::less<Node*>;\n"
+                              "using Hash = std::hash<const Node*>;\n");
+  EXPECT_TRUE(has(diags, "no-pointer-order", 3));
+  EXPECT_TRUE(has(diags, "no-pointer-order", 4));
+}
+
+TEST(LintRules, NoPointerOrderRelationalCompareFires) {
+  const auto diags = lint_one("src/maintenance/a.cpp",
+                              "struct Node;\n"
+                              "bool before(Node* a, Node* b) {\n"
+                              "  return a < b;\n"
+                              "}\n");
+  EXPECT_TRUE(has(diags, "no-pointer-order", 3));
+}
+
+TEST(LintRules, NoPointerOrderCleanCases) {
+  // Value comparisons and arithmetic never match.
+  EXPECT_TRUE(lint_one("src/sim/a.cpp",
+                       "int area(int width, int height) {\n"
+                       "  return width * height;\n"
+                       "}\n"
+                       "bool less(int a, int b) { return a < b; }\n")
+                  .empty());
+  // Pointer *keys by stable id* are fine: only pointer-keyed ordering fires.
+  EXPECT_TRUE(lint_one("src/sim/a.cpp",
+                       "#include <set>\n"
+                       "std::set<long> ids;\n")
+                  .empty());
+  // io/ is outside the trace-affecting scope.
+  EXPECT_TRUE(lint_one("src/io/a.cpp",
+                       "struct Node;\n"
+                       "std::set<Node*> frontier;\n")
+                  .empty());
+}
+
+TEST(LintRules, NoPointerOrderSuppressedAndLexerImmune) {
+  EXPECT_TRUE(
+      lint_one("src/mis/a.cpp",
+               "struct Node;\n"
+               "std::set<Node*> f;  // wcds-lint: allow(no-pointer-order)\n")
+          .empty());
+  EXPECT_TRUE(lint_one("src/mis/a.cpp",
+                       "// std::set<Node*> frontier;\n"
+                       "auto s = \"std::less<Node*>\";\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// no-ambient-entropy
+
+TEST(LintRules, NoAmbientEntropyRandomDeviceFires) {
+  const auto diags = lint_one("src/geom/seed.cpp",
+                              "#include <random>\n"
+                              "unsigned s() {\n"
+                              "  std::random_device rd;\n"
+                              "  return rd();\n"
+                              "}\n");
+  EXPECT_TRUE(has(diags, "no-ambient-entropy", 3));
+}
+
+TEST(LintRules, NoAmbientEntropyRandAndClockFire) {
+  const auto diags = lint_one("src/sim/a.cpp",
+                              "#include <chrono>\n"
+                              "int r() { return rand(); }\n"
+                              "auto t() { return std::chrono::steady_clock::now(); }\n"
+                              "long w() { return time(nullptr); }\n");
+  EXPECT_TRUE(has(diags, "no-ambient-entropy", 2));
+  EXPECT_TRUE(has(diags, "no-ambient-entropy", 3));
+  EXPECT_TRUE(has(diags, "no-ambient-entropy", 4));
+}
+
+TEST(LintRules, NoAmbientEntropyBoundaryAndMembersClean) {
+  // The declared clock boundary may read wall clocks.
+  EXPECT_TRUE(lint_one("src/obs/recorder.cpp",
+                       "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+  // Member functions named time()/clock() are not the libc calls.
+  EXPECT_TRUE(lint_one("src/sim/a.cpp",
+                       "double f(const Event& e) { return e.time(); }\n"
+                       "double g(const Sim* s) { return s->clock(); }\n")
+                  .empty());
+  // Outside the configured scope the rule is silent.
+  EXPECT_TRUE(lint_one("bench/a.cpp", "int r() { return rand(); }\n").empty());
+}
+
+TEST(LintRules, NoAmbientEntropySuppressedAndLexerImmune) {
+  EXPECT_TRUE(lint_one("src/sim/a.cpp",
+                       "// wcds-lint: allow(no-ambient-entropy) — seed scan\n"
+                       "unsigned s = std::random_device{}();\n")
+                  .empty());
+  EXPECT_TRUE(lint_one("src/sim/a.cpp",
+                       "// std::random_device in prose\n"
+                       "auto s = \"rand() and time()\";\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// layer-dag
+
+Config layered_config() {
+  Config config;
+  config.module_prefixes = {{"src/low/", "low"}, {"src/high/", "high"}};
+  config.modules = {{"low", {}}, {"high", {"low"}}};
+  return config;
+}
+
+TEST(LintRules, LayerDagUndeclaredEdgeFires) {
+  Linter linter(layered_config());
+  linter.add_file("src/low/a.h",
+                  "#pragma once\n"
+                  "#include \"high/b.h\"\n");
+  linter.add_file("src/high/b.h", "#pragma once\n");
+  const auto diags = linter.run();
+  EXPECT_TRUE(has(diags, "layer-dag", 2));
+  ASSERT_FALSE(diags.empty());
+  EXPECT_NE(diags[0].message.find("'low'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("'high'"), std::string::npos);
+}
+
+TEST(LintRules, LayerDagDeclaredEdgeAndIntraModuleClean) {
+  Linter linter(layered_config());
+  linter.add_file("src/high/b.h",
+                  "#pragma once\n"
+                  "#include \"low/a.h\"\n"
+                  "#include \"high/util.h\"\n");
+  linter.add_file("src/low/a.h", "#pragma once\n");
+  linter.add_file("src/high/util.h", "#pragma once\n");
+  EXPECT_TRUE(linter.run().empty());
+}
+
+TEST(LintRules, LayerDagIncludeCycleFires) {
+  Linter linter(layered_config());
+  linter.add_file("src/low/a.h",
+                  "#pragma once\n"
+                  "#include \"low/b.h\"\n");
+  linter.add_file("src/low/b.h",
+                  "#pragma once\n"
+                  "#include \"low/a.h\"\n");
+  const auto diags = linter.run();
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].rule, "layer-dag");
+  EXPECT_NE(diags[0].message.find("include cycle"), std::string::npos);
+}
+
+TEST(LintRules, LayerDagDeclaredCycleIsAConfigError) {
+  Config config;
+  config.module_prefixes = {{"src/low/", "low"}, {"src/high/", "high"}};
+  config.modules = {{"low", {"high"}}, {"high", {"low"}}};
+  Linter linter(std::move(config));
+  linter.add_file("src/low/a.h", "#pragma once\n");
+  const auto diags = linter.run();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "layer-dag");
+  EXPECT_NE(diags[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(LintRules, LayerDagSuppressedAndDisabledWithoutModules) {
+  Linter linter(layered_config());
+  linter.add_file("src/low/a.h",
+                  "#pragma once\n"
+                  "#include \"high/b.h\"  // wcds-lint: allow(layer-dag)\n");
+  linter.add_file("src/high/b.h", "#pragma once\n");
+  EXPECT_TRUE(linter.run().empty());
+  // Config{} declares no modules: the rule is disabled entirely.
+  Linter bare{Config{}};
+  bare.add_file("src/low/a.h",
+                "#pragma once\n"
+                "#include \"high/b.h\"\n");
+  bare.add_file("src/high/b.h", "#pragma once\n");
+  EXPECT_TRUE(bare.run().empty());
+}
+
+TEST(LintRules, DefaultConfigDagIsAcyclicAtHead) {
+  // The shipped layering must itself be a valid DAG: an empty file set
+  // still runs the declared-graph acyclicity check.
+  Linter linter(default_config());
+  linter.add_file("src/sim/a.cpp", "int x;\n");
+  EXPECT_TRUE(linter.run().empty());
+}
+
+// ---------------------------------------------------------------------------
 // Engine plumbing
 
 TEST(LintEngine, DiagnosticsSortedAndFormatted) {
@@ -342,12 +640,174 @@ TEST(LintEngine, RuleListIsStable) {
   const std::vector<std::string> expected = {
       "no-bare-assert",   "paper-constant",  "hot-path-alloc",
       "message-type-registry", "metric-doc-sync", "pragma-once",
-      "include-hygiene"};
+      "include-hygiene", "no-unordered-iteration", "no-pointer-order",
+      "no-ambient-entropy", "layer-dag"};
   ASSERT_EQ(rules().size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(rules()[i].name, expected[i]);
     EXPECT_FALSE(rules()[i].summary.empty());
   }
+}
+
+TEST(LintEngine, GithubFormat) {
+  const Diagnostic diag{"src/a.h", 3, "pragma-once", "duplicate #pragma once"};
+  EXPECT_EQ(format_diagnostic_github(diag),
+            "::error file=src/a.h,line=3::[pragma-once] duplicate #pragma "
+            "once");
+}
+
+// ---------------------------------------------------------------------------
+// Semantic index
+
+TEST(LintIndex, BuildsIncludeGraphAndResolvesAgainstScanSet) {
+  const FileIndex file = analyze_file("src/sim/a.cpp",
+                                      "#include \"sim/a.h\"\n"
+                                      "#include <vector>\n"
+                                      "#include \"graph/graph.h\"\n",
+                                      Config{});
+  ASSERT_EQ(file.includes.size(), 2u);  // system includes are not edges
+  EXPECT_EQ(file.includes[0].line, 1);
+  EXPECT_EQ(file.includes[0].written, "sim/a.h");
+  EXPECT_EQ(file.includes[1].line, 3);
+  EXPECT_EQ(file.includes[1].written, "graph/graph.h");
+  // Resolution happens against the registered scan set at run() time.
+  Linter linter;
+  linter.add_file("src/sim/a.cpp", "#include \"sim/a.h\"\n");
+  linter.add_file("src/sim/a.h", "#pragma once\n");
+  (void)linter.run();
+  ASSERT_EQ(linter.index().files.size(), 2u);
+  const FileIndex& cpp = linter.index().files[0];
+  ASSERT_EQ(cpp.includes.size(), 1u);
+  EXPECT_EQ(cpp.includes[0].resolved, "src/sim/a.h");
+}
+
+TEST(LintIndex, ModuleAssignmentPrefixesAndOverrides) {
+  const Config config = default_config();
+  EXPECT_EQ(module_for("src/sim/runtime.cpp", config), "sim");
+  EXPECT_EQ(module_for("src/maintenance/crash_schedule.cpp", config),
+            "maintenance");
+  // Exact overrides mirror the CMake split.
+  EXPECT_EQ(module_for("src/check/check.h", config), "check");
+  EXPECT_EQ(module_for("src/check/audit.h", config), "audit");
+  EXPECT_EQ(module_for("src/wcds/wcds_result.h", config), "wcds_types");
+  EXPECT_EQ(module_for("src/wcds/algorithm1.cpp", config), "wcds");
+  EXPECT_EQ(module_for("tests/lint_test.cpp", config), "");
+}
+
+TEST(LintIndex, RecordsDeclsUsesAndAllows) {
+  const FileIndex file = analyze_file(
+      "src/sim/a.cpp",
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> table;  // wcds-lint: allow(all)\n"
+      "struct Node;\n"
+      "void f(Node* n, Node* m) {\n"
+      "  if (n < m) return;\n"
+      "}\n",
+      Config{});
+  ASSERT_EQ(file.decls.size(), 3u);
+  EXPECT_EQ(file.decls[0].kind, "unordered");
+  EXPECT_EQ(file.decls[0].name, "table");
+  EXPECT_EQ(file.decls[1].kind, "pointer");
+  EXPECT_EQ(file.decls[1].name, "n");
+  EXPECT_EQ(file.decls[2].name, "m");
+  ASSERT_EQ(file.compares.size(), 1u);
+  EXPECT_EQ(file.compares[0].lhs, "n");
+  EXPECT_EQ(file.compares[0].rhs, "m");
+  ASSERT_EQ(file.allows.size(), 1u);
+  EXPECT_EQ(file.allows[0].line, 2);
+}
+
+TEST(LintIndex, SerializationRoundTripsExactly) {
+  Config config = default_config();
+  config.observability_doc = "`fault/repair_ms`\n";
+  Linter linter(config);
+  linter.add_file("src/sim/a.h",
+                  "#pragma once\n"
+                  "#include <unordered_map>\n"
+                  "enum DemoMessageType : sim::MessageType {\n"
+                  "  kMsgPing = 1,  // wcds-lint: allow(paper-constant)\n"
+                  "};\n"
+                  "std::unordered_map<int, int> table;\n");
+  linter.add_file("src/sim/a.cpp",
+                  "#include \"sim/a.h\"\n"
+                  "int f() {\n"
+                  "  int s = 0;\n"
+                  "  for (const auto& [k, v] : table) s += v;\n"
+                  "  return s;\n"
+                  "}\n");
+  (void)linter.run();
+  const std::string text = serialize_index(linter.index());
+  SemanticIndex parsed;
+  ASSERT_TRUE(parse_index(text, parsed));
+  EXPECT_EQ(parsed, linter.index());
+  // And the round-trip is a fixed point.
+  EXPECT_EQ(serialize_index(parsed), text);
+}
+
+TEST(LintIndex, ParseRejectsCorruptDocuments) {
+  SemanticIndex out;
+  EXPECT_FALSE(parse_index("", out));
+  EXPECT_FALSE(parse_index("not-an-index\n", out));
+  EXPECT_FALSE(parse_index("wcds-lint-index/v1\nbogus-tag 1\n", out));
+  // A `file` record must be closed by `end`.
+  EXPECT_FALSE(parse_index("wcds-lint-index/v1\nfile src/a.h\nhash 1\n", out));
+  EXPECT_TRUE(parse_index(
+      "wcds-lint-index/v1\nconfig 1\nfile src/a.h\nhash 1\nmodule -\nend\n",
+      out));
+  ASSERT_EQ(out.files.size(), 1u);
+  EXPECT_EQ(out.files[0].path, "src/a.h");
+}
+
+TEST(LintIndex, CacheSkipsUnchangedFilesAndAgreesWithFreshRun) {
+  Config config = default_config();
+  const std::string header =
+      "#pragma once\n"
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> table;\n";
+  const std::string source =
+      "#include \"sim/a.h\"\n"
+      "int f() {\n"
+      "  int s = 0;\n"
+      "  for (const auto& [k, v] : table) s += v;\n"
+      "  return s;\n"
+      "}\n";
+  Linter cold(config);
+  cold.add_file("src/sim/a.h", header);
+  cold.add_file("src/sim/a.cpp", source);
+  const auto fresh = cold.run();
+  EXPECT_EQ(cold.cache_hits(), 0u);
+
+  // Seed a second linter with the serialized index: both files hit.
+  SemanticIndex cache;
+  ASSERT_TRUE(parse_index(serialize_index(cold.index()), cache));
+  Linter warm(config);
+  warm.set_cached_index(std::move(cache));
+  warm.add_file("src/sim/a.h", header);
+  warm.add_file("src/sim/a.cpp", source);
+  EXPECT_EQ(warm.run(), fresh);
+  EXPECT_EQ(warm.cache_hits(), 2u);
+
+  // An edited file re-analyzes; the untouched one still hits.
+  Linter edited(config);
+  SemanticIndex cache2;
+  ASSERT_TRUE(parse_index(serialize_index(cold.index()), cache2));
+  edited.set_cached_index(std::move(cache2));
+  edited.add_file("src/sim/a.h", header);
+  edited.add_file("src/sim/a.cpp", source + "int g();\n");
+  (void)edited.run();
+  EXPECT_EQ(edited.cache_hits(), 1u);
+
+  // A different config fingerprint invalidates every entry.
+  Config other = config;
+  other.entropy_scope_prefixes.push_back("bench/");
+  Linter invalidated(other);
+  SemanticIndex cache3;
+  ASSERT_TRUE(parse_index(serialize_index(cold.index()), cache3));
+  invalidated.set_cached_index(std::move(cache3));
+  invalidated.add_file("src/sim/a.h", header);
+  invalidated.add_file("src/sim/a.cpp", source);
+  (void)invalidated.run();
+  EXPECT_EQ(invalidated.cache_hits(), 0u);
 }
 
 }  // namespace

@@ -6,7 +6,7 @@
 
 #include "geom/rng.h"
 #include "geom/workload.h"
-#include "fault/schedule.h"
+#include "maintenance/crash_schedule.h"
 #include "maintenance/dynamic_wcds.h"
 
 namespace wcds::maintenance {
@@ -158,7 +158,7 @@ TEST(DynamicWcds, ChurnWithCrashScheduleStaysAuditClean) {
         victims.push_back(v);
       }
     }
-    const auto report = fault::run_crash_schedule(dyn, victims);
+    const auto report = maintenance::run_crash_schedule(dyn, victims);
     ASSERT_EQ(report.outcomes.size(), victims.size()) << "wave " << wave;
     EXPECT_GE(report.total_repair_ms, 0.0);
     ASSERT_TRUE(dyn.audit().ok()) << "wave " << wave;

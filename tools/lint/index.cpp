@@ -1,0 +1,222 @@
+#include "lint/index.h"
+
+#include <sstream>
+#include <string_view>
+
+namespace wcds::lint {
+namespace {
+
+constexpr std::string_view kMagic = "wcds-lint-index/v1";
+
+// Fields are space-separated; the only field that may contain spaces is a
+// diagnostic message, which is therefore always the record's last field.
+// Empty strings travel as "-" (no indexed name/path is ever "-").
+std::string enc(const std::string& s) { return s.empty() ? "-" : s; }
+std::string dec(const std::string& s) { return s == "-" ? "" : s; }
+
+// Splits off the first whitespace-delimited token of `rest`.
+bool take(std::string_view& rest, std::string& out) {
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  if (rest.empty()) return false;
+  const std::size_t end = rest.find(' ');
+  out = std::string(rest.substr(0, end));
+  rest.remove_prefix(end == std::string_view::npos ? rest.size() : end);
+  return true;
+}
+
+bool take_int(std::string_view& rest, int& out) {
+  std::string token;
+  if (!take(rest, token)) return false;
+  try {
+    out = std::stoi(token);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool take_hex64(std::string_view& rest, std::uint64_t& out) {
+  std::string token;
+  if (!take(rest, token)) return false;
+  try {
+    out = std::stoull(token, nullptr, 16);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+std::string_view remainder(std::string_view rest) {
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  return rest;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::string serialize_index(const SemanticIndex& index) {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "config " << std::hex << index.config_fingerprint << std::dec << "\n";
+  for (const FileIndex& file : index.files) {
+    out << "file " << file.path << "\n";
+    out << "hash " << std::hex << file.content_hash << std::dec << "\n";
+    out << "module " << enc(file.module) << "\n";
+    for (const IncludeEdge& inc : file.includes) {
+      out << "include " << inc.line << " " << enc(inc.written) << " "
+          << enc(inc.resolved) << "\n";
+    }
+    for (const Decl& decl : file.decls) {
+      out << "decl " << decl.line << " " << decl.kind << " " << decl.name
+          << "\n";
+    }
+    for (const IterUse& use : file.iter_uses) {
+      out << "iter " << use.line << " " << use.how << " " << enc(use.name)
+          << "\n";
+    }
+    for (const CompareUse& cmp : file.compares) {
+      out << "cmp " << cmp.line << " " << cmp.lhs << " " << cmp.rhs << "\n";
+    }
+    for (const EnumeratorFact& e : file.enumerators) {
+      out << "enum " << e.line << " " << e.enum_name << " " << e.name << "\n";
+    }
+    for (const std::string& name : file.named_cases) {
+      out << "case " << name << "\n";
+    }
+    for (const MetricFact& m : file.metric_uses) {
+      out << "metric " << m.line << " " << m.name << "\n";
+    }
+    for (const LineAllow& allow : file.allows) {
+      out << "allow " << allow.line;
+      for (std::size_t i = 0; i < allow.rules.size(); ++i) {
+        out << (i == 0 ? " " : ",") << allow.rules[i];
+      }
+      out << "\n";
+    }
+    for (std::size_t i = 0; i < file.diag_lines.size(); ++i) {
+      out << "diag " << file.diag_lines[i] << " " << file.diag_rules[i] << " "
+          << file.diag_messages[i] << "\n";
+    }
+    out << "end\n";
+  }
+  return out.str();
+}
+
+bool parse_index(const std::string& text, SemanticIndex& out) {
+  out = SemanticIndex{};
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return false;
+
+  FileIndex* file = nullptr;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::string_view rest = line;
+    std::string tag;
+    if (!take(rest, tag)) return false;
+
+    if (tag == "config") {
+      if (!take_hex64(rest, out.config_fingerprint)) return false;
+      continue;
+    }
+    if (tag == "file") {
+      std::string path;
+      if (!take(rest, path)) return false;
+      out.files.emplace_back();
+      file = &out.files.back();
+      file->path = path;
+      continue;
+    }
+    if (file == nullptr) return false;
+    if (tag == "end") {
+      file = nullptr;
+    } else if (tag == "hash") {
+      if (!take_hex64(rest, file->content_hash)) return false;
+    } else if (tag == "module") {
+      std::string module;
+      if (!take(rest, module)) return false;
+      file->module = dec(module);
+    } else if (tag == "include") {
+      IncludeEdge inc;
+      std::string written, resolved;
+      if (!take_int(rest, inc.line) || !take(rest, written) ||
+          !take(rest, resolved)) {
+        return false;
+      }
+      inc.written = dec(written);
+      inc.resolved = dec(resolved);
+      file->includes.push_back(std::move(inc));
+    } else if (tag == "decl") {
+      Decl decl;
+      if (!take_int(rest, decl.line) || !take(rest, decl.kind) ||
+          !take(rest, decl.name)) {
+        return false;
+      }
+      file->decls.push_back(std::move(decl));
+    } else if (tag == "iter") {
+      IterUse use;
+      std::string name;
+      if (!take_int(rest, use.line) || !take(rest, use.how) ||
+          !take(rest, name)) {
+        return false;
+      }
+      use.name = dec(name);
+      file->iter_uses.push_back(std::move(use));
+    } else if (tag == "cmp") {
+      CompareUse cmp;
+      if (!take_int(rest, cmp.line) || !take(rest, cmp.lhs) ||
+          !take(rest, cmp.rhs)) {
+        return false;
+      }
+      file->compares.push_back(std::move(cmp));
+    } else if (tag == "enum") {
+      EnumeratorFact e;
+      if (!take_int(rest, e.line) || !take(rest, e.enum_name) ||
+          !take(rest, e.name)) {
+        return false;
+      }
+      file->enumerators.push_back(std::move(e));
+    } else if (tag == "case") {
+      std::string name;
+      if (!take(rest, name)) return false;
+      file->named_cases.push_back(std::move(name));
+    } else if (tag == "metric") {
+      MetricFact m;
+      if (!take_int(rest, m.line) || !take(rest, m.name)) return false;
+      file->metric_uses.push_back(std::move(m));
+    } else if (tag == "allow") {
+      LineAllow allow;
+      std::string list;
+      if (!take_int(rest, allow.line) || !take(rest, list)) return false;
+      std::string_view view = list;
+      while (!view.empty()) {
+        const std::size_t comma = view.find(',');
+        allow.rules.emplace_back(view.substr(0, comma));
+        if (comma == std::string_view::npos) break;
+        view.remove_prefix(comma + 1);
+      }
+      file->allows.push_back(std::move(allow));
+    } else if (tag == "diag") {
+      int diag_line = 0;
+      std::string rule;
+      if (!take_int(rest, diag_line) || !take(rest, rule)) return false;
+      file->diag_lines.push_back(diag_line);
+      file->diag_rules.push_back(std::move(rule));
+      file->diag_messages.emplace_back(remainder(rest));
+    } else {
+      return false;  // unknown tag: treat as corruption, not extension
+    }
+  }
+  return file == nullptr;  // every `file` record must be closed by `end`
+}
+
+}  // namespace wcds::lint

@@ -1,0 +1,148 @@
+// Semantic index for wcds_lint (phase 1 of the two-phase analyzer).
+//
+// Phase 1 lexes every file once (tools/lint/lint.h, annotate_source) and
+// distills it into a FileIndex: the project include edges, the module the
+// file belongs to under the declared layering DAG, a conservative
+// declaration table for the identifier types the determinism rules care
+// about (unordered containers, raw pointers), the usage events those rules
+// judge (range-for targets, .begin() receivers, relational comparisons),
+// the cross-file registries (message-type enumerators and their trace-name
+// cases, metric-name literals), the per-line `wcds-lint: allow(...)` sets,
+// and every diagnostic the file-local rules produced.
+//
+// Phase 2 (Linter::run) is then a pure function of SemanticIndex + Config:
+// it resolves includes against the scanned file set, walks the include
+// graph for the scope-aware rules (no-unordered-iteration, no-pointer-order,
+// layer-dag) and the cross-file registries, merges the stored local
+// diagnostics, and applies suppressions.
+//
+// The index serializes to a line-based text format (`wcds-lint-index/v1`).
+// The CLI writes it with --index-out (CI uploads it as an artifact) and
+// reads it back with --index-in: a file whose content hash and config
+// fingerprint match its cached entry skips phase 1 entirely, so an
+// incremental lint run re-lexes only what changed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wcds::lint {
+
+struct Diagnostic;  // tools/lint/lint.h
+
+// One `#include "..."` edge.  `resolved` is the repo-relative path of the
+// included file when it is part of the scanned tree ("" = external header);
+// it is recomputed against the registered file set on every run, so a cached
+// entry stays correct when the scan set changes.
+struct IncludeEdge {
+  int line = 0;
+  std::string written;   // path as written between the quotes
+  std::string resolved;  // repo-relative, or "" when not a project file
+
+  friend bool operator==(const IncludeEdge&, const IncludeEdge&) = default;
+};
+
+// A declared identifier of a type the determinism rules track.
+// kind: "unordered" (std::unordered_{map,set,multimap,multiset} or a local
+// alias of one), "pointer" (raw pointer object).
+struct Decl {
+  int line = 0;
+  std::string kind;
+  std::string name;
+
+  friend bool operator==(const Decl&, const Decl&) = default;
+};
+
+// A container-iteration event: a range-for over `name`, or `name.begin()` /
+// `name->begin()` (how = "range-for" | "begin").  A range-for whose target
+// expression spells an unordered container type inline is recorded with
+// name = "-" and how = "range-for-inline" and is unconditionally unordered.
+struct IterUse {
+  int line = 0;
+  std::string how;
+  std::string name;
+
+  friend bool operator==(const IterUse&, const IterUse&) = default;
+};
+
+// A relational comparison (`<`, `>`, `<=`, `>=`) between two plain
+// identifiers; phase 2 flags it when both sides are known raw pointers.
+struct CompareUse {
+  int line = 0;
+  std::string lhs;
+  std::string rhs;
+
+  friend bool operator==(const CompareUse&, const CompareUse&) = default;
+};
+
+// An enumerator of an `enum *MessageType` (message-type-registry).
+struct EnumeratorFact {
+  int line = 0;
+  std::string enum_name;
+  std::string name;
+
+  friend bool operator==(const EnumeratorFact&, const EnumeratorFact&) =
+      default;
+};
+
+// A metric-name literal recorded through obs::Recorder (metric-doc-sync).
+struct MetricFact {
+  int line = 0;
+  std::string name;
+
+  friend bool operator==(const MetricFact&, const MetricFact&) = default;
+};
+
+// The non-empty per-line suppression sets, post comment-line propagation.
+struct LineAllow {
+  int line = 0;
+  std::vector<std::string> rules;  // sorted
+
+  friend bool operator==(const LineAllow&, const LineAllow&) = default;
+};
+
+struct FileIndex {
+  std::string path;                // repo-relative, '/'-separated
+  std::uint64_t content_hash = 0;  // FNV-1a 64 of the raw bytes
+  std::string module;              // "" = not assigned to a layered module
+
+  std::vector<IncludeEdge> includes;
+  std::vector<Decl> decls;
+  std::vector<IterUse> iter_uses;
+  std::vector<CompareUse> compares;
+  std::vector<EnumeratorFact> enumerators;
+  std::vector<std::string> named_cases;  // enumerators with a trace name
+  std::vector<MetricFact> metric_uses;
+  std::vector<LineAllow> allows;
+
+  // Diagnostics from the file-local rules, pre-suppression (phase 2 filters
+  // through `allows` so cached entries and fresh ones behave identically).
+  // Stored as parallel arrays to keep this header free of lint.h.
+  std::vector<int> diag_lines;
+  std::vector<std::string> diag_rules;
+  std::vector<std::string> diag_messages;
+
+  friend bool operator==(const FileIndex&, const FileIndex&) = default;
+};
+
+struct SemanticIndex {
+  // Fingerprint of every Config field that feeds phase 1; a cached entry is
+  // only reused when it matches (see config_fingerprint in lint.h).
+  std::uint64_t config_fingerprint = 0;
+  std::vector<FileIndex> files;  // sorted by path
+
+  friend bool operator==(const SemanticIndex&, const SemanticIndex&) = default;
+};
+
+// FNV-1a 64-bit, the content hash used for index diffing.
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& bytes);
+
+// Line-based text serialization (`wcds-lint-index/v1`); round-trips exactly.
+[[nodiscard]] std::string serialize_index(const SemanticIndex& index);
+
+// Parses `serialize_index` output.  Returns false (and leaves `out`
+// unspecified) on a malformed or version-mismatched document.
+[[nodiscard]] bool parse_index(const std::string& text, SemanticIndex& out);
+
+}  // namespace wcds::lint

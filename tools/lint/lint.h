@@ -5,6 +5,11 @@
 // (standard library only), runs under ctest against the repo tree, and
 // reports file:line diagnostics that CI treats as errors.
 //
+// Since PR 6 the tool is a two-phase semantic analyzer rather than a line
+// lexer: phase 1 builds a repo-wide semantic index (tools/lint/index.h) —
+// include graph, module assignment, declaration table, usage events — and
+// phase 2 runs flow- and scope-aware rules over that index.
+//
 // Rules (ids are stable; see docs/CHECKING.md "Static analysis layers"):
 //
 //   no-bare-assert         assert()/abort() in src/ must go through the
@@ -29,15 +34,38 @@
 //   include-hygiene        no parent-relative (`../`) or <bits/...>
 //                          includes; project includes are src-root
 //                          relative.
+//   no-unordered-iteration iterating a std::unordered_{map,set} (range-for
+//                          or .begin()) in a trace-affecting module: the
+//                          iteration order is implementation-defined and
+//                          would leak into traces, breaking the
+//                          byte-identical reproducibility contract.
+//   no-pointer-order       ordering, sorting or hashing by raw pointer
+//                          value (std::less<T*>, pointer-keyed std::set /
+//                          std::map, std::hash<T*>, relational comparison
+//                          of raw pointers): addresses change run to run.
+//   no-ambient-entropy     std::random_device, rand()/srand(), std::time,
+//                          clock(), *_clock::now() outside the allowlisted
+//                          clock/seed boundary files: all randomness must
+//                          come from seeded geom:: generators, all timing
+//                          from the sim clock.
+//   layer-dag              the declared module DAG (Config::modules) is
+//                          enforced over the include graph: a module may
+//                          only include itself and its declared deps, the
+//                          declared graph must be acyclic, and file-level
+//                          include cycles are reported.
 //
 // Suppression: a `// wcds-lint: allow(<rule>[,<rule>...])` comment silences
 // the named rules on its own line; a comment-only line silences them on the
 // following line as well.
 #pragma once
 
+#include <cstdint>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "lint/index.h"
 
 namespace wcds::lint {
 
@@ -53,6 +81,10 @@ struct Diagnostic {
 // "<file>:<line>: error: [<rule>] <message>"
 [[nodiscard]] std::string format_diagnostic(const Diagnostic& diagnostic);
 
+// "::error file=<file>,line=<line>::[<rule>] <message>" — GitHub Actions
+// error-annotation form, surfaced inline on the PR diff.
+[[nodiscard]] std::string format_diagnostic_github(const Diagnostic& diagnostic);
+
 struct RuleInfo {
   std::string name;
   std::string summary;
@@ -60,6 +92,13 @@ struct RuleInfo {
 
 // Every rule the engine knows, in reporting order.
 [[nodiscard]] const std::vector<RuleInfo>& rules();
+
+// One module of the declared layering DAG: the module may include itself
+// and the modules in `deps` (direct declaration, not transitive closure).
+struct ModuleSpec {
+  std::string name;
+  std::vector<std::string> deps;
+};
 
 struct Config {
   // Files allowed to spell the packing constants literally: the property
@@ -84,9 +123,59 @@ struct Config {
   std::string observability_doc;
   std::string observability_doc_name = "docs/OBSERVABILITY.md";
 
+  // --- determinism-rule scopes ---------------------------------------------
+
+  // Modules whose container-iteration order can reach a trace
+  // (no-unordered-iteration fires only there).  udg/ is included because
+  // topology construction fixes the edge order every later trace depends on.
+  std::set<std::string> trace_affecting_modules = {
+      "sim", "fault", "protocols", "maintenance",
+      "mis", "wcds",  "parallel",  "udg",
+  };
+  // Extra path prefixes treated as trace-affecting regardless of module
+  // (the tests profile adds "tests/": a flaky iteration order in a test
+  // that replays traces is a flaky test).
+  std::vector<std::string> trace_affecting_prefixes;
+
+  // Files subject to no-ambient-entropy…
+  std::vector<std::string> entropy_scope_prefixes = {"src/"};
+  // …minus the declared clock/seed boundary (the one place wall-clock reads
+  // are the point; everything else must justify itself with an allow()).
+  std::vector<std::string> entropy_boundary_files = {
+      "src/obs/recorder.cpp",
+  };
+
+  // --- declared module layering DAG (layer-dag) ----------------------------
+
+  // Directory-prefix defaults: a file under `first` belongs to module
+  // `second` unless an exact override below says otherwise.
+  std::vector<std::pair<std::string, std::string>> module_prefixes;
+  // Exact-path overrides.  Two ship by default, mirroring the CMake library
+  // split: src/check/audit.* is module `audit` (it depends on graph/mis and
+  // the result record, unlike the dependency-free contract macros), and
+  // src/wcds/wcds_result.h is the vocabulary-type module `wcds_types` the
+  // auditor is allowed to see without creating an audit <-> wcds cycle.
+  std::vector<std::pair<std::string, std::string>> module_overrides;
+  // The DAG itself; default_config() declares the repo's layering.  Empty
+  // disables layer-dag.
+  std::vector<ModuleSpec> modules;
+
   // Rules to run; empty means all.
   std::set<std::string> enabled_rules;
 };
+
+// The Config all callers should start from: module prefixes/overrides and
+// the declared DAG populated for the repo tree.  (Config{} leaves the DAG
+// empty so unit tests can build minimal layerings from scratch.)
+[[nodiscard]] Config default_config();
+
+// The module a path belongs to under `config` ("" when unassigned).
+[[nodiscard]] std::string module_for(const std::string& path,
+                                     const Config& config);
+
+// Fingerprint of the Config fields phase 1 depends on; cached index entries
+// are only reused when it matches.
+[[nodiscard]] std::uint64_t config_fingerprint(const Config& config);
 
 // One analyzed file in three aligned channels (same line/column layout):
 //   raw   verbatim source lines;
@@ -107,22 +196,42 @@ struct SourceFile {
 [[nodiscard]] SourceFile annotate_source(std::string path,
                                          const std::string& content);
 
+// Phase 1 for one file: lexes and distills `content` into a FileIndex
+// (facts + file-local diagnostics).  Exposed for the index unit tests.
+[[nodiscard]] FileIndex analyze_file(const std::string& path,
+                                     const std::string& content,
+                                     const Config& config);
+
 class Linter {
  public:
-  explicit Linter(Config config = {});
+  explicit Linter(Config config = default_config());
 
   // Register an in-memory file (tests) or one loaded from disk (CLI).
   void add_file(std::string path, const std::string& content);
 
-  // Run every enabled rule over the registered files.  Diagnostics are
-  // sorted by (file, line, rule) and already filtered by suppressions.
-  [[nodiscard]] std::vector<Diagnostic> run() const;
+  // Seed phase 1 with a previously serialized index: files whose content
+  // hash and config fingerprint match their cached entry skip re-analysis.
+  void set_cached_index(SemanticIndex cache);
+
+  // Number of files served from the cache by the last run().
+  [[nodiscard]] std::size_t cache_hits() const { return cache_hits_; }
+
+  // Builds the semantic index (phase 1, cache-aware), runs every enabled
+  // rule over it (phase 2).  Diagnostics are sorted by (file, line, rule)
+  // and already filtered by suppressions.
+  [[nodiscard]] std::vector<Diagnostic> run();
+
+  // The index built by the last run() (includes resolved, modules assigned).
+  [[nodiscard]] const SemanticIndex& index() const { return index_; }
 
  private:
   [[nodiscard]] bool rule_enabled(const std::string& rule) const;
 
   Config config_;
-  std::vector<SourceFile> files_;
+  std::vector<std::pair<std::string, std::string>> pending_;  // path, content
+  SemanticIndex cache_;
+  SemanticIndex index_;
+  std::size_t cache_hits_ = 0;
 };
 
 }  // namespace wcds::lint

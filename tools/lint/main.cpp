@@ -1,10 +1,25 @@
 // wcds_lint CLI.
 //
-//   wcds_lint [--root <dir>] [--rules=<a,b,...>] [--list-rules] [paths...]
+//   wcds_lint [--root <dir>] [--rules=<a,b,...>] [--profile=<repo|tests>]
+//             [--format=<plain|github>] [--index-in=<file>]
+//             [--index-out=<file>] [--list-rules] [paths...]
 //
 // Paths are repo-relative files or directories (default: src tools bench),
-// scanned recursively for C++ sources.  Exit status is 0 when clean, 1 when
-// any diagnostic fires, 2 on usage/IO errors.
+// scanned recursively for C++ sources.
+//
+// Exit status contract (CI keys off it — see .github/workflows/checks.yml):
+//   0  clean
+//   1  violations found
+//   2  usage error (unknown flag, bad arguments)
+//   3  I/O or parse failure (unreadable input, corrupt --index-in)
+//
+// --profile=tests relaxes the style rules for test code (hot-path-alloc and
+// paper-constant off) but keeps the determinism and include rules on, with
+// tests/ treated as trace-affecting: a flaky iteration order in a test that
+// replays traces is a flaky test.
+//
+// --index-out serializes the semantic index (uploaded as a CI artifact);
+// --index-in seeds the next run so unchanged files skip phase 1.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -18,6 +33,11 @@
 namespace fs = std::filesystem;
 
 namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitViolations = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIoError = 3;
 
 bool has_source_extension(const fs::path& path) {
   const std::string ext = path.extension().string();
@@ -40,30 +60,49 @@ bool read_file(const fs::path& path, std::string& out) {
 }
 
 int usage(std::ostream& out, int status) {
-  out << "usage: wcds_lint [--root <dir>] [--rules=<a,b,...>] [--list-rules]"
+  out << "usage: wcds_lint [--root <dir>] [--rules=<a,b,...>]"
+         " [--profile=<repo|tests>] [--format=<plain|github>]"
+         " [--index-in=<file>] [--index-out=<file>] [--list-rules]"
          " [paths...]\n"
-         "paths default to: src tools bench (relative to --root)\n";
+         "paths default to: src tools bench (relative to --root)\n"
+         "exit: 0 clean, 1 violations, 2 usage error, 3 I/O/parse failure\n";
   return status;
+}
+
+// The tests profile: style rules that assume production context are off,
+// the determinism and include rules stay on, and tests/ joins the
+// trace-affecting + entropy scopes.
+void apply_tests_profile(wcds::lint::Config& config) {
+  config.enabled_rules = {"pragma-once",          "include-hygiene",
+                          "no-unordered-iteration", "no-pointer-order",
+                          "no-ambient-entropy",   "layer-dag"};
+  config.trace_affecting_prefixes.push_back("tests/");
+  config.entropy_scope_prefixes.push_back("tests/");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
-  wcds::lint::Config config;
+  wcds::lint::Config config = wcds::lint::default_config();
   std::vector<std::string> inputs;
+  std::set<std::string> selected_rules;
+  std::string profile = "repo";
+  std::string format = "plain";
+  std::string index_in_path;
+  std::string index_out_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      return usage(std::cout, 0);
+      return usage(std::cout, kExitClean);
     } else if (arg == "--list-rules") {
       for (const wcds::lint::RuleInfo& rule : wcds::lint::rules()) {
         std::cout << rule.name << ": " << rule.summary << "\n";
       }
-      return 0;
+      return kExitClean;
     } else if (arg == "--root") {
-      if (i + 1 >= argc) return usage(std::cerr, 2);
+      if (i + 1 >= argc) return usage(std::cerr, kExitUsage);
       root = argv[++i];
     } else if (arg.rfind("--rules=", 0) == 0) {
       std::string list = arg.substr(8);
@@ -72,24 +111,43 @@ int main(int argc, char** argv) {
         const std::size_t comma = list.find(',', pos);
         const std::string rule =
             list.substr(pos, comma == std::string::npos ? comma : comma - pos);
-        if (!rule.empty()) config.enabled_rules.insert(rule);
+        if (!rule.empty()) selected_rules.insert(rule);
         if (comma == std::string::npos) break;
         pos = comma + 1;
       }
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      profile = arg.substr(10);
+      if (profile != "repo" && profile != "tests") {
+        std::cerr << "wcds_lint: unknown profile " << profile << "\n";
+        return usage(std::cerr, kExitUsage);
+      }
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "plain" && format != "github") {
+        std::cerr << "wcds_lint: unknown format " << format << "\n";
+        return usage(std::cerr, kExitUsage);
+      }
+    } else if (arg.rfind("--index-in=", 0) == 0) {
+      index_in_path = arg.substr(11);
+    } else if (arg.rfind("--index-out=", 0) == 0) {
+      index_out_path = arg.substr(12);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "wcds_lint: unknown option " << arg << "\n";
-      return usage(std::cerr, 2);
+      return usage(std::cerr, kExitUsage);
     } else {
       inputs.push_back(arg);
     }
   }
   if (inputs.empty()) inputs = {"src", "tools", "bench"};
+  if (profile == "tests") apply_tests_profile(config);
+  // Explicit --rules= narrows whatever the profile enabled.
+  if (!selected_rules.empty()) config.enabled_rules = selected_rules;
 
   std::error_code ec;
   root = fs::canonical(root, ec);
   if (ec) {
     std::cerr << "wcds_lint: cannot resolve root: " << ec.message() << "\n";
-    return 2;
+    return kExitIoError;
   }
 
   // The metric registry document; missing is fine (rule disabled) so the
@@ -110,31 +168,61 @@ int main(int argc, char** argv) {
       files.push_back(relative_key(path, root));
     } else {
       std::cerr << "wcds_lint: no such file or directory: " << input << "\n";
-      return 2;
+      return kExitIoError;
     }
   }
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  wcds::lint::Linter linter(std::move(config));
+  wcds::lint::Linter linter(config);
+  if (!index_in_path.empty()) {
+    std::string text;
+    if (!read_file(fs::path(index_in_path), text)) {
+      std::cerr << "wcds_lint: cannot read index " << index_in_path << "\n";
+      return kExitIoError;
+    }
+    wcds::lint::SemanticIndex cache;
+    if (!wcds::lint::parse_index(text, cache)) {
+      std::cerr << "wcds_lint: corrupt or incompatible index "
+                << index_in_path << "\n";
+      return kExitIoError;
+    }
+    linter.set_cached_index(std::move(cache));
+  }
+
   for (const std::string& file : files) {
     std::string content;
     if (!read_file(root / file, content)) {
       std::cerr << "wcds_lint: cannot read " << file << "\n";
-      return 2;
+      return kExitIoError;
     }
     linter.add_file(file, content);
   }
 
   const std::vector<wcds::lint::Diagnostic> diagnostics = linter.run();
   for (const wcds::lint::Diagnostic& diagnostic : diagnostics) {
-    std::cout << wcds::lint::format_diagnostic(diagnostic) << "\n";
+    std::cout << (format == "github"
+                      ? wcds::lint::format_diagnostic_github(diagnostic)
+                      : wcds::lint::format_diagnostic(diagnostic))
+              << "\n";
   }
-  if (!diagnostics.empty()) {
-    std::cout << "wcds_lint: " << diagnostics.size() << " diagnostic"
-              << (diagnostics.size() == 1 ? "" : "s") << " in " << files.size()
-              << " files\n";
-    return 1;
+
+  if (!index_out_path.empty()) {
+    std::ofstream out(index_out_path, std::ios::binary);
+    out << wcds::lint::serialize_index(linter.index());
+    if (!out) {
+      std::cerr << "wcds_lint: cannot write index " << index_out_path << "\n";
+      return kExitIoError;
+    }
   }
-  return 0;
+
+  // Always-printed summary so CI logs show the scan's actual extent.
+  std::size_t rules_run = config.enabled_rules.empty()
+                              ? wcds::lint::rules().size()
+                              : config.enabled_rules.size();
+  std::cout << "wcds_lint: " << diagnostics.size() << " diagnostic"
+            << (diagnostics.size() == 1 ? "" : "s") << " in " << files.size()
+            << " files (" << rules_run << " rules, " << linter.cache_hits()
+            << " from cache)\n";
+  return diagnostics.empty() ? kExitClean : kExitViolations;
 }

@@ -58,6 +58,8 @@ stage_lint() {
   cmake --build --preset default --target wcds_lint -j "$JOBS"
   banner "wcds_lint src tools bench"
   ./build/tools/lint/wcds_lint --root . src tools bench
+  banner "wcds_lint tests (relaxed profile)"
+  ./build/tools/lint/wcds_lint --root . --profile=tests tests
 }
 
 stage_asan() {
