@@ -22,11 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "facade/build.h"
 #include "fault/plan.h"
 #include "maintenance/crash_schedule.h"
 #include "maintenance/dynamic_wcds.h"
-#include "protocols/algorithm1_protocol.h"
-#include "protocols/algorithm2_protocol.h"
 #include "protocols/mis_maintenance_protocol.h"
 
 namespace {
@@ -70,15 +69,12 @@ void print_a6a() {
         const fault::Plan plan = fault::Plan::chaos(drop, 0.05, 2, seed);
         const fault::Plan* faults = drop > 0.0 ? &plan : nullptr;
         obs::Recorder rec;
-        const auto stats =
-            alg1 ? protocols::run_algorithm1(inst.g, sim::DelayModel::unit(),
-                                             &rec, sim::QueuePolicy::kFlat,
-                                             faults)
-                       .stats
-                 : protocols::run_algorithm2(inst.g, sim::DelayModel::unit(),
-                                             &rec, sim::QueuePolicy::kFlat,
-                                             faults)
-                       .stats;
+        core::BuildOptions opts;
+        opts.algorithm = alg1 ? core::BuildAlgorithm::kAlgorithm1Protocol
+                              : core::BuildAlgorithm::kAlgorithm2Protocol;
+        opts.faults = faults;
+        opts.recorder = &rec;
+        const auto stats = core::build(inst.g, opts).stats;
         if (stats.quiescent) ++converged;
         msgs.push_back(static_cast<double>(stats.transmissions));
         times.push_back(static_cast<double>(stats.completion_time));

@@ -1,6 +1,8 @@
-// Clusterhead routing (paper, Section 4.2): unicast packets travel
-// src -> clusterhead -> ... -> clusterhead -> dst over black (spanner) edges
-// only, using the dominators' routing tables.
+// Routing over the backbone (paper, Section 4.2) behind the unified
+// routing::Router interface.  The default clusterhead strategy sends unicast
+// packets src -> clusterhead -> ... -> clusterhead -> dst over black
+// (spanner) edges only, using the dominators' routing tables; the geographic
+// strategy routes greedily by position with no routing state at all.
 //
 // Scenario: a field deployment where pairs of sensors exchange readings.  We
 // route a batch of random pairs, verify delivery, and report the stretch
@@ -8,6 +10,7 @@
 // node; the clusterhead scheme keeps routing state only at dominators).
 //
 //   $ ./clusterhead_routing [node_count] [expected_degree] [pairs] [seed]
+//       [clusterhead|geographic]
 #include <iostream>
 #include <string>
 
@@ -15,6 +18,7 @@
 #include "geom/workload.h"
 #include "graph/bfs.h"
 #include "routing/clusterhead_routing.h"
+#include "routing/router.h"
 #include "facade/build.h"
 #include "udg/udg.h"
 
@@ -25,6 +29,10 @@ int main(int argc, char** argv) {
   const std::uint32_t pair_count =
       argc > 3 ? static_cast<std::uint32_t>(std::stoul(argv[3])) : 2000;
   std::uint64_t seed = argc > 4 ? std::stoull(argv[4]) : 3;
+  const routing::Strategy strategy =
+      argc > 5 && std::string(argv[5]) == "geographic"
+          ? routing::Strategy::kGeographic
+          : routing::Strategy::kClusterhead;
 
   const double side = geom::side_for_expected_degree(n, degree);
   std::vector<geom::Point> points;
@@ -36,13 +44,20 @@ int main(int argc, char** argv) {
 
   core::BuildOptions build_options;
   build_options.algorithm = core::BuildAlgorithm::kAlgorithm2Central;
-  const auto backbone = core::build(g, build_options).algorithm2_output();
-  const routing::ClusterheadRouter router(g, backbone);
+  const auto report = core::build(g, build_options);
+  const auto router =
+      routing::make_router(strategy, g, report.algorithm2_view(), points);
 
-  std::cout << "network: " << n << " nodes; clusterheads: "
-            << router.clusterhead_count() << "; overlay edges: "
-            << router.overlay_edge_count() << "; routing-table entries: "
-            << router.table_entries() << " (held at dominators only)\n\n";
+  std::cout << "network: " << n << " nodes; strategy: "
+            << routing::to_string(router->strategy()) << "\n";
+  if (strategy == routing::Strategy::kClusterhead) {
+    const auto& ch = static_cast<const routing::ClusterheadRouter&>(*router);
+    std::cout << "clusterheads: " << ch.clusterhead_count()
+              << "; overlay edges: " << ch.overlay_edge_count()
+              << "; routing-table entries: " << ch.table_entries()
+              << " (held at dominators only)\n";
+  }
+  std::cout << "\n";
 
   geom::Xoshiro256ss rng(909);
   std::size_t delivered = 0;
@@ -53,7 +68,7 @@ int main(int argc, char** argv) {
     const NodeId src = static_cast<NodeId>(rng.next_below(n));
     const NodeId dst = static_cast<NodeId>(rng.next_below(n));
     if (src == dst) continue;
-    const auto route = router.route(src, dst);
+    const auto route = router->route(src, dst);
     if (!route.delivered) continue;
     ++delivered;
     const auto opt = graph::hop_distance(g, src, dst);

@@ -97,9 +97,17 @@ struct BuildReport {
   NodeId leader = kInvalidNode;
   std::vector<std::uint32_t> levels;
 
-  // Repackage as the Algorithm2Output the routing layer consumes
-  // (ClusterheadRouter, route_flows).  Only meaningful for Algorithm II
-  // modes.
+  // Non-owning view of the Algorithm II triple the serving layers consume
+  // (ClusterheadRouter, route_flows, service::ServingEngine).  The view
+  // borrows this report's storage — keep the report alive while routing.
+  // Only meaningful for Algorithm II modes.
+  [[nodiscard]] Algorithm2View algorithm2_view() const {
+    return Algorithm2View{result, mis, lists};
+  }
+
+  // Owning repackage kept for compatibility with callers that outlive the
+  // report; copies result/mis/lists wholesale.  Prefer algorithm2_view() on
+  // any serving path.
   [[nodiscard]] Algorithm2Output algorithm2_output() const {
     return Algorithm2Output{result, mis, lists};
   }

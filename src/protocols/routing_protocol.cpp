@@ -123,8 +123,7 @@ class RoutingNode final : public sim::ProtocolNode {
 
 }  // namespace
 
-DataPlaneRun route_flows(const graph::Graph& g,
-                         const core::Algorithm2Output& wcds,
+DataPlaneRun route_flows(const graph::Graph& g, core::Algorithm2View wcds,
                          const std::vector<FlowRequest>& requests,
                          const sim::DelayModel& delays) {
   for (const FlowRequest& r : requests) {

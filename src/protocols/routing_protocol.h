@@ -58,10 +58,10 @@ struct DataPlaneRun {
   }
 };
 
-// Route all `requests` concurrently over the spanner of `wcds` (an
-// Algorithm II output for `g`).  Every packet is injected at time 0.
+// Route all `requests` concurrently over the spanner of `wcds` (a view of
+// an Algorithm II run on `g`).  Every packet is injected at time 0.
 [[nodiscard]] DataPlaneRun route_flows(
-    const graph::Graph& g, const core::Algorithm2Output& wcds,
+    const graph::Graph& g, core::Algorithm2View wcds,
     const std::vector<FlowRequest>& requests,
     const sim::DelayModel& delays = sim::DelayModel::unit());
 

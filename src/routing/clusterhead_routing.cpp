@@ -1,6 +1,7 @@
 #include "routing/clusterhead_routing.h"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 #include <stdexcept>
 
@@ -8,24 +9,26 @@ namespace wcds::routing {
 
 namespace {
 constexpr std::uint32_t kNoHead = 0xFFFFFFFFu;
-}
+constexpr std::uint16_t kUnreachable16 = 0xFFFFu;
+}  // namespace
 
 ClusterheadRouter::ClusterheadRouter(const graph::Graph& g,
-                                     const core::Algorithm2Output& wcds)
+                                     core::Algorithm2View wcds)
     : g_(g) {
   const std::size_t n = g.node_count();
-  heads_ = wcds.result.mis_dominators;  // ascending by construction
+  heads_ = wcds.result().mis_dominators;  // ascending by construction
   index_.assign(n, kNoHead);
   for (std::uint32_t i = 0; i < heads_.size(); ++i) index_[heads_[i]] = i;
 
   // Clusterhead assignment: self for heads, lowest-ID 1-hop MIS-dominator
   // otherwise (the 1HopDomList is sorted).
+  const core::DominatorLists& lists = wcds.lists();
   clusterhead_.assign(n, kInvalidNode);
   for (NodeId u = 0; u < n; ++u) {
     if (index_[u] != kNoHead) {
       clusterhead_[u] = u;
-    } else if (!wcds.lists.one_hop[u].empty()) {
-      clusterhead_[u] = wcds.lists.one_hop[u].front();
+    } else if (!lists.one_hop[u].empty()) {
+      clusterhead_[u] = lists.one_hop[u].front();
     } else {
       throw std::invalid_argument(
           "ClusterheadRouter: node without a 1-hop dominator (S must "
@@ -47,21 +50,25 @@ ClusterheadRouter::ClusterheadRouter(const graph::Graph& g,
     ++overlay_edges_;
   };
   for (NodeId a : heads_) {
-    for (const core::TwoHopEntry& e : wcds.lists.two_hop[a]) {
+    for (const core::TwoHopEntry& e : lists.two_hop[a]) {
       add_edge(a, e.dom, e.via, kInvalidNode);
     }
-    for (const core::ThreeHopEntry& e : wcds.lists.three_hop[a]) {
+    for (const core::ThreeHopEntry& e : lists.three_hop[a]) {
       add_edge(a, e.dom, e.via1, e.via2);
     }
   }
 
-  // Routing tables: BFS per head over the overlay.
+  // Routing tables: BFS per head over the overlay.  The same traversal
+  // yields the overlay hop distances, kept for candidate ordering in the
+  // service layer (nearest advertising domain first).
   const std::size_t h = heads_.size();
   next_.assign(h * h, kNoHead);
+  dist_.assign(h * h, kUnreachable16);
   std::vector<std::uint32_t> parent(h);
   for (std::uint32_t src = 0; src < h; ++src) {
     std::fill(parent.begin(), parent.end(), kNoHead);
     parent[src] = src;
+    dist_[src * h + src] = 0;
     std::queue<std::uint32_t> frontier;
     frontier.push(src);
     while (!frontier.empty()) {
@@ -70,6 +77,9 @@ ClusterheadRouter::ClusterheadRouter(const graph::Graph& g,
       for (const OverlayEdge& e : overlay_[a]) {
         if (parent[e.to] == kNoHead) {
           parent[e.to] = a;
+          const std::uint32_t d = dist_[src * h + a] + 1;
+          dist_[src * h + e.to] = static_cast<std::uint16_t>(
+              std::min<std::uint32_t>(d, kUnreachable16 - 1));
           frontier.push(e.to);
         }
       }
@@ -94,19 +104,35 @@ NodeId ClusterheadRouter::next_clusterhead(NodeId from_head,
   return step == kNoHead ? kInvalidNode : heads_[step];
 }
 
-std::vector<NodeId> ClusterheadRouter::expand_overlay_edge(NodeId a,
-                                                           NodeId b) const {
-  const auto& row = overlay_[index_[a]];
-  const auto it = std::find_if(row.begin(), row.end(), [&](const OverlayEdge& e) {
-    return e.to == index_[b];
-  });
+std::uint32_t ClusterheadRouter::overlay_distance(NodeId from_head,
+                                                  NodeId to_head) const {
+  const std::uint32_t from = index_[from_head];
+  const std::uint32_t to = index_[to_head];
+  if (from == kNoHead || to == kNoHead) return kNoHead;
+  const std::uint16_t d = dist_[from * heads_.size() + to];
+  return d == kUnreachable16 ? kNoHead : d;
+}
+
+ClusterheadRouter::Leg ClusterheadRouter::overlay_leg_compact(
+    NodeId from_head, NodeId to_head) const {
+  const auto& row = overlay_[index_[from_head]];
+  const std::uint32_t to = index_[to_head];
+  const auto it = std::find_if(
+      row.begin(), row.end(),
+      [&](const OverlayEdge& e) { return e.to == to; });
   if (it == row.end()) {
-    throw std::logic_error("expand_overlay_edge: not an overlay edge");
+    throw std::logic_error("overlay_leg_compact: not an overlay edge");
   }
+  return Leg{it->via1, it->via2};
+}
+
+std::vector<NodeId> ClusterheadRouter::overlay_leg(NodeId from_head,
+                                                   NodeId to_head) const {
+  const Leg leg = overlay_leg_compact(from_head, to_head);
   std::vector<NodeId> hop_path;
-  hop_path.push_back(it->via1);
-  if (it->via2 != kInvalidNode) hop_path.push_back(it->via2);
-  hop_path.push_back(b);
+  hop_path.push_back(leg.via1);
+  if (leg.via2 != kInvalidNode) hop_path.push_back(leg.via2);
+  hop_path.push_back(to_head);
   return hop_path;
 }
 
@@ -132,8 +158,10 @@ Route ClusterheadRouter::route(NodeId src, NodeId dst) const {
   while (at != goal) {
     const std::uint32_t step = next_[at * h + goal];
     if (step == kNoHead) return r;  // overlay disconnected: undeliverable
-    const auto leg = expand_overlay_edge(heads_[at], heads_[step]);
-    r.path.insert(r.path.end(), leg.begin(), leg.end());
+    const Leg leg = overlay_leg_compact(heads_[at], heads_[step]);
+    r.path.push_back(leg.via1);
+    if (leg.via2 != kInvalidNode) r.path.push_back(leg.via2);
+    r.path.push_back(heads_[step]);
     at = step;
   }
   if (dst != dst_head) r.path.push_back(dst);

@@ -18,34 +18,32 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "routing/router.h"
 #include "wcds/algorithm2.h"
 
 namespace wcds::routing {
 
-struct Route {
-  std::vector<NodeId> path;  // src first, dst last; consecutive = G-adjacent
-  bool delivered = false;
-
-  [[nodiscard]] std::size_t hops() const {
-    return path.empty() ? 0 : path.size() - 1;
-  }
-};
-
-class ClusterheadRouter {
+class ClusterheadRouter final : public Router {
  public:
   // Builds clusterhead assignments, the overlay and the routing tables from
-  // an Algorithm II run on g.
-  ClusterheadRouter(const graph::Graph& g, const core::Algorithm2Output& wcds);
+  // an Algorithm II run on g.  Both arguments are borrowed: `g` and the
+  // view's backing storage must outlive the router.  The dominator lists
+  // are only read during construction.
+  ClusterheadRouter(const graph::Graph& g, core::Algorithm2View wcds);
 
   // Route a unicast packet.  Adjacent pairs use the direct edge; everything
   // else travels src -> clusterhead -> ... -> clusterhead -> dst over black
   // edges only.
-  [[nodiscard]] Route route(NodeId src, NodeId dst) const;
+  [[nodiscard]] Route route(NodeId src, NodeId dst) const override;
+
+  [[nodiscard]] Strategy strategy() const noexcept override {
+    return Strategy::kClusterhead;
+  }
 
   // The clusterhead serving node u (u itself if u is an MIS-dominator).
   [[nodiscard]] NodeId clusterhead(NodeId u) const { return clusterhead_[u]; }
@@ -59,13 +57,32 @@ class ClusterheadRouter {
   // `to` into the G-path between them (excluding `from`, including `to`):
   // the 2HopDomList / 3HopDomList lookup of Section 4.2.
   [[nodiscard]] std::vector<NodeId> overlay_leg(NodeId from_head,
-                                                NodeId to_head) const {
-    return expand_overlay_edge(from_head, to_head);
-  }
+                                                NodeId to_head) const;
+
+  // Allocation-free form of overlay_leg for per-packet hot paths (the
+  // service engine walks millions of legs): the intermediates of the
+  // from->to overlay edge.  via2 is kInvalidNode for 2-hop edges.
+  struct Leg {
+    NodeId via1 = kInvalidNode;
+    NodeId via2 = kInvalidNode;
+  };
+  [[nodiscard]] Leg overlay_leg_compact(NodeId from_head, NodeId to_head) const;
 
   [[nodiscard]] bool is_clusterhead(NodeId u) const {
     return index_[u] != 0xFFFFFFFFu;
   }
+
+  // All MIS-dominators, ascending.  The dense head index used by
+  // overlay-table accessors is the position in this span.
+  [[nodiscard]] std::span<const NodeId> heads() const { return heads_; }
+
+  // Dense head index of node u, or 0xFFFFFFFF if u is not a clusterhead.
+  [[nodiscard]] std::uint32_t head_index(NodeId u) const { return index_[u]; }
+
+  // Overlay (clusterhead-graph) hop distance between two heads;
+  // 0xFFFFFFFF if unreachable.  O(1): filled by the table-building BFS.
+  [[nodiscard]] std::uint32_t overlay_distance(NodeId from_head,
+                                               NodeId to_head) const;
 
   // Diagnostics for experiment T5.
   [[nodiscard]] std::size_t clusterhead_count() const {
@@ -80,13 +97,6 @@ class ClusterheadRouter {
   }
 
  private:
-  // Dense clusterhead index; kInvalidNode for non-heads.
-  [[nodiscard]] std::uint32_t head_index(NodeId u) const { return index_[u]; }
-
-  // Expand one overlay edge from head `a` to head `b` into the G-path
-  // between them (excluding `a`, including `b`).
-  [[nodiscard]] std::vector<NodeId> expand_overlay_edge(NodeId a, NodeId b) const;
-
   const graph::Graph& g_;
   std::vector<NodeId> clusterhead_;
   std::vector<NodeId> heads_;          // MIS-dominators, ascending
@@ -102,6 +112,8 @@ class ClusterheadRouter {
   std::size_t overlay_edges_ = 0;
   // next_[a * heads + b]: dense index of the next head after a toward b.
   std::vector<std::uint32_t> next_;
+  // dist_[a * heads + b]: overlay hop count from a to b (0xFFFF unreachable).
+  std::vector<std::uint16_t> dist_;
 };
 
 }  // namespace wcds::routing

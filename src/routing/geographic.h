@@ -12,11 +12,13 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "geom/point.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "routing/router.h"
 
 namespace wcds::routing {
 
@@ -35,5 +37,31 @@ struct GeoRoute {
 [[nodiscard]] GeoRoute greedy_geographic_route(
     const graph::Graph& g, std::span<const geom::Point> points, NodeId src,
     NodeId dst);
+
+// routing::Router adapter over greedy geographic forwarding, so consumers
+// can swap strategies by enum (make_router) instead of call shape.  Borrows
+// both the graph and the position array.
+class GeographicRouter final : public Router {
+ public:
+  GeographicRouter(const graph::Graph& g, std::span<const geom::Point> points)
+      : g_(g), points_(points) {}
+
+  [[nodiscard]] Route route(NodeId src, NodeId dst) const override {
+    GeoRoute geo = greedy_geographic_route(g_, points_, src, dst);
+    Route r;
+    r.path = std::move(geo.path);
+    r.delivered = geo.delivered;
+    r.stuck = geo.stuck;
+    return r;
+  }
+
+  [[nodiscard]] Strategy strategy() const noexcept override {
+    return Strategy::kGeographic;
+  }
+
+ private:
+  const graph::Graph& g_;
+  std::span<const geom::Point> points_;
+};
 
 }  // namespace wcds::routing

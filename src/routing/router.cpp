@@ -1,0 +1,36 @@
+#include "routing/router.h"
+
+#include <stdexcept>
+
+#include "routing/clusterhead_routing.h"
+#include "routing/geographic.h"
+
+namespace wcds::routing {
+
+const char* to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kClusterhead:
+      return "clusterhead";
+    case Strategy::kGeographic:
+      return "geographic";
+  }
+  return "?";
+}
+
+std::unique_ptr<Router> make_router(Strategy strategy, const graph::Graph& g,
+                                    core::Algorithm2View wcds,
+                                    std::span<const geom::Point> points) {
+  switch (strategy) {
+    case Strategy::kClusterhead:
+      return std::make_unique<ClusterheadRouter>(g, wcds);
+    case Strategy::kGeographic:
+      if (points.size() != g.node_count()) {
+        throw std::invalid_argument(
+            "make_router: geographic strategy needs one position per node");
+      }
+      return std::make_unique<GeographicRouter>(g, points);
+  }
+  throw std::invalid_argument("make_router: unknown strategy");
+}
+
+}  // namespace wcds::routing

@@ -51,6 +51,36 @@ struct Algorithm2Output {
   DominatorLists lists;  // including the populated 3HopDomLists
 };
 
+// Non-owning view over an Algorithm II construction: the shape every
+// consumer on the serving path (ClusterheadRouter, route_flows, the service
+// engine) takes, so routing over an n >= 10^6 backbone never copies the
+// result/mis/lists triple.  The referenced storage must outlive the view —
+// typically it lives in a core::BuildReport or an Algorithm2Output.
+//
+// Implicitly constructible from an Algorithm2Output lvalue so existing
+// call sites keep compiling; construction from a temporary is deleted
+// (the view would dangle before the callee returned).
+class Algorithm2View {
+ public:
+  Algorithm2View(const WcdsResult& result, const mis::MisResult& mis,
+                 const DominatorLists& lists)
+      : result_(&result), mis_(&mis), lists_(&lists) {}
+
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate implicit view.
+  Algorithm2View(const Algorithm2Output& output)
+      : Algorithm2View(output.result, output.mis, output.lists) {}
+  Algorithm2View(Algorithm2Output&&) = delete;
+
+  [[nodiscard]] const WcdsResult& result() const { return *result_; }
+  [[nodiscard]] const mis::MisResult& mis() const { return *mis_; }
+  [[nodiscard]] const DominatorLists& lists() const { return *lists_; }
+
+ private:
+  const WcdsResult* result_;
+  const mis::MisResult* mis_;
+  const DominatorLists* lists_;
+};
+
 // Precondition: g is connected.  Throws std::invalid_argument otherwise.
 [[nodiscard]] Algorithm2Output algorithm2(const graph::Graph& g,
                                           const Algorithm2Options& options = {});

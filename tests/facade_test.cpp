@@ -91,14 +91,31 @@ TEST(Facade, ExplicitRootIsHonored) {
   EXPECT_TRUE(core::is_wcds(inst.g, report.result.mask));
 }
 
-TEST(Facade, Algorithm2OutputFeedsTheRouter) {
+TEST(Facade, Algorithm2ViewFeedsTheRouter) {
   const auto inst = testing::connected_udg(80, 9.0, 6);
   const auto report =
       build_mode(inst.g, core::BuildAlgorithm::kAlgorithm2Central);
   EXPECT_EQ(report.lists.one_hop.size(), inst.g.node_count());
-  const routing::ClusterheadRouter router(inst.g, report.algorithm2_output());
+  // The view borrows the report's storage — no copies on the serving path.
+  const core::Algorithm2View view = report.algorithm2_view();
+  EXPECT_EQ(&view.result(), &report.result);
+  EXPECT_EQ(&view.mis(), &report.mis);
+  EXPECT_EQ(&view.lists(), &report.lists);
+  const routing::ClusterheadRouter router(inst.g, view);
   const auto route = router.route(0, inst.g.node_count() - 1);
   EXPECT_TRUE(route.delivered);
+}
+
+TEST(Facade, OwningAlgorithm2OutputStillConverts) {
+  const auto inst = testing::connected_udg(80, 9.0, 6);
+  const auto report =
+      build_mode(inst.g, core::BuildAlgorithm::kAlgorithm2Central);
+  // The owning accessor remains for callers that outlive the report; an
+  // lvalue of it converts implicitly to the view.
+  const core::Algorithm2Output owned = report.algorithm2_output();
+  EXPECT_EQ(owned.result.mis_dominators, report.result.mis_dominators);
+  const routing::ClusterheadRouter router(inst.g, owned);
+  EXPECT_TRUE(router.route(0, inst.g.node_count() - 1).delivered);
 }
 
 TEST(Facade, ProtocolAlgorithm2ListsMatchCentralized) {

@@ -613,6 +613,65 @@ TEST(LintRules, DefaultConfigDagIsAcyclicAtHead) {
 }
 
 // ---------------------------------------------------------------------------
+// facade-only
+
+TEST(LintRules, FacadeOnlyDirectCallFires) {
+  const auto diags = lint_one("bench/bench_x.cpp",
+                              "void table() {\n"
+                              "  const auto out = core::algorithm2(g);\n"
+                              "  const auto run =\n"
+                              "      protocols::run_algorithm1(g, delays);\n"
+                              "}\n");
+  EXPECT_TRUE(has(diags, "facade-only", 2));
+  EXPECT_TRUE(has(diags, "facade-only", 4));
+}
+
+TEST(LintRules, FacadeOnlyBmBodyExempt) {
+  // Inside a BM_ fixture the raw entrypoint is the thing being measured;
+  // after its closing brace the exemption ends.
+  const auto diags = lint_one("bench/bench_x.cpp",
+                              "void BM_Build(benchmark::State& state) {\n"
+                              "  for (auto _ : state) {\n"
+                              "    benchmark::DoNotOptimize(core::algorithm2(g));\n"
+                              "  }\n"
+                              "}\n"
+                              "void table() { core::algorithm2(g); }\n");
+  EXPECT_FALSE(has(diags, "facade-only", 3));
+  EXPECT_TRUE(has(diags, "facade-only", 6));
+}
+
+TEST(LintRules, FacadeOnlyExemptModulesAndNonCallsClean) {
+  // The implementing modules may call the entrypoints directly.
+  EXPECT_TRUE(lint_one("src/facade/build.cpp",
+                       "auto r = core::algorithm2(g);\n", default_config())
+                  .empty());
+  EXPECT_TRUE(lint_one("src/protocols/driver.cpp",
+                       "auto r = protocols::run_algorithm2(g, d);\n",
+                       default_config())
+                  .empty());
+  // Mentions that are not calls: longer identifiers and non-call contexts.
+  EXPECT_TRUE(lint_one("bench/bench_x.cpp",
+                       "core::algorithm2_options opts;\n"
+                       "int my_core::algorithm2x = 0;\n")
+                  .empty());
+}
+
+TEST(LintRules, FacadeOnlySuppressedAndLexerImmune) {
+  EXPECT_TRUE(lint_one("bench/bench_x.cpp",
+                       "void t() {\n"
+                       "  // timing the raw entrypoint on purpose\n"
+                       "  // wcds-lint: allow(facade-only)\n"
+                       "  auto r = core::algorithm2(g);\n"
+                       "}\n")
+                  .empty());
+  // Comment and string mentions never fire.
+  EXPECT_TRUE(lint_one("bench/bench_x.cpp",
+                       "// call core::algorithm2(g) via the facade instead\n"
+                       "const char* kDoc = \"protocols::run_algorithm1(g)\";\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // Engine plumbing
 
 TEST(LintEngine, DiagnosticsSortedAndFormatted) {
@@ -641,7 +700,7 @@ TEST(LintEngine, RuleListIsStable) {
       "no-bare-assert",   "paper-constant",  "hot-path-alloc",
       "message-type-registry", "metric-doc-sync", "pragma-once",
       "include-hygiene", "no-unordered-iteration", "no-pointer-order",
-      "no-ambient-entropy", "layer-dag"};
+      "no-ambient-entropy", "layer-dag", "facade-only"};
   ASSERT_EQ(rules().size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(rules()[i].name, expected[i]);

@@ -37,6 +37,7 @@ TIMING_GAUGE_PREFIXES = (
     "a6/recovery_ms/",
     "a6/crash_repair_ms/",
     "a6/recover_repair_ms/",
+    "a7/serve_ms/",
 )
 PHASE_HISTOGRAM_PREFIX = "phase_ms/"
 

@@ -275,6 +275,10 @@ const std::vector<RuleInfo>& rules() {
       {"layer-dag",
        "the declared module DAG is enforced over the include graph (cycles "
        "and undeclared cross-module includes are errors)"},
+      {"facade-only",
+       "direct core::algorithm1/2 / protocols::run_algorithm1/2 calls "
+       "outside wcds/, protocols/, facade/ and BM_ bench bodies must use "
+       "core::build() / bench::build_with()"},
   };
   return kRules;
 }
@@ -297,6 +301,7 @@ Config default_config() {
       {"src/sim/", "sim"},
       {"src/fault/", "fault"},
       {"src/routing/", "routing"},
+      {"src/service/", "service"},
       {"src/protocols/", "protocols"},
       {"src/broadcast/", "broadcast"},
       {"src/maintenance/", "maintenance"},
@@ -335,6 +340,9 @@ Config default_config() {
       {"fault", {"check", "geom", "graph", "obs", "sim"}},
       {"routing",
        {"check", "geom", "graph", "mis", "obs", "sim", "wcds", "wcds_types"}},
+      {"service",
+       {"check", "fault", "geom", "graph", "mis", "obs", "parallel", "routing",
+        "wcds", "wcds_types"}},
       {"protocols",
        {"audit", "check", "fault", "geom", "graph", "mis", "obs", "routing",
         "sim", "wcds", "wcds_types"}},
@@ -388,6 +396,8 @@ std::uint64_t config_fingerprint(const Config& config) {
   for (const std::string& v : config.entropy_scope_prefixes) item(v);
   field("entropy_boundary_files");
   for (const std::string& v : config.entropy_boundary_files) item(v);
+  field("facade_only_exempt_modules");
+  for (const std::string& v : config.facade_only_exempt_modules) item(v);
   field("module_prefixes");
   for (const auto& [prefix, module] : config.module_prefixes) {
     item(prefix);
@@ -1166,6 +1176,84 @@ void rule_no_pointer_order_local(const SourceFile& file,
   }
 }
 
+// facade-only: the per-algorithm construction entrypoints are implementation
+// detail behind core::build() / bench::build_with().  Modules listed in
+// Config::facade_only_exempt_modules (the algorithms, the protocol drivers,
+// the facade itself) may call them; so may the body of a benchmark fixture
+// (`BM_*(benchmark::State&)`), where timing the raw entrypoint is the point.
+// Everything else linted (src/, bench/ table code, tools/) is flagged.
+void rule_facade_only(const SourceFile& file, const std::string& module,
+                      const Config& config, std::vector<Diagnostic>& diags) {
+  if (std::find(config.facade_only_exempt_modules.begin(),
+                config.facade_only_exempt_modules.end(),
+                module) != config.facade_only_exempt_modules.end()) {
+    return;
+  }
+  static constexpr std::string_view kEntrypoints[] = {
+      "core::algorithm1",
+      "core::algorithm2",
+      "protocols::run_algorithm1",
+      "protocols::run_algorithm2",
+  };
+  // Brace-depth tracker for BM_ bodies: from a line introducing
+  // `BM_<Name>(benchmark::State ...)` until its brace depth unwinds.
+  int depth = 0;
+  int entry_depth = 0;
+  bool in_bm = false;
+  bool body_entered = false;
+  for (std::size_t i = 0; i < file.pure.size(); ++i) {
+    const std::string& line = file.pure[i];
+    if (!in_bm && line.find("benchmark::State") != std::string::npos) {
+      std::size_t bm = 0;
+      while ((bm = line.find("BM_", bm)) != std::string::npos) {
+        if (bm == 0 || !is_word(line[bm - 1])) {
+          in_bm = true;
+          entry_depth = depth;
+          body_entered = false;
+          break;
+        }
+        bm += 3;
+      }
+    }
+    if (!in_bm) {
+      for (const std::string_view entry : kEntrypoints) {
+        std::size_t pos = 0;
+        while ((pos = line.find(entry, pos)) != std::string::npos) {
+          const std::size_t end = pos + entry.size();
+          const bool left_ok = pos == 0 || !is_word(line[pos - 1]);
+          const std::size_t after = skip_spaces(line, end);
+          const bool is_call = left_ok &&
+                               (end >= line.size() || !is_word(line[end])) &&
+                               after < line.size() && line[after] == '(';
+          if (is_call) {
+            diags.push_back(
+                {file.path, static_cast<int>(i + 1), "facade-only",
+                 "direct call to " + std::string(entry) +
+                     "(); application code goes through core::build() / "
+                     "bench::build_with() (the entrypoints are reserved for "
+                     "wcds/, protocols/, facade/ and BM_ bench bodies)"});
+          }
+          pos = end;
+        }
+      }
+    }
+    for (const char c : line) {
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+      }
+    }
+    if (in_bm) {
+      if (depth > entry_depth) {
+        body_entered = true;
+      } else if (body_entered && depth <= entry_depth) {
+        in_bm = false;
+      }
+    }
+  }
+}
+
 // --- cross-file registries (facts in phase 1, judged in phase 2) ------------
 
 // Collects the enumerators of every `enum <X>MessageType` in `file`.
@@ -1361,6 +1449,7 @@ FileIndex analyze_file(const std::string& path, const std::string& content,
   rule_include_hygiene(source, local);
   rule_no_ambient_entropy(source, config, local);
   rule_no_pointer_order_local(source, index.module, config, local);
+  rule_facade_only(source, index.module, config, local);
   for (Diagnostic& diag : local) {
     index.diag_lines.push_back(diag.line);
     index.diag_rules.push_back(std::move(diag.rule));

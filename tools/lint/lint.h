@@ -53,6 +53,12 @@
 //                          only include itself and its declared deps, the
 //                          declared graph must be acyclic, and file-level
 //                          include cycles are reported.
+//   facade-only            the per-algorithm construction entrypoints
+//                          (core::algorithm1/2, protocols::run_algorithm1/2)
+//                          are implementation detail; calls outside the
+//                          implementing modules (wcds, protocols, facade)
+//                          and benchmark BM_ bodies must go through
+//                          core::build() / bench::build_with().
 //
 // Suppression: a `// wcds-lint: allow(<rule>[,<rule>...])` comment silences
 // the named rules on its own line; a comment-only line silences them on the
@@ -130,7 +136,7 @@ struct Config {
   // topology construction fixes the edge order every later trace depends on.
   std::set<std::string> trace_affecting_modules = {
       "sim", "fault", "protocols", "maintenance",
-      "mis", "wcds",  "parallel",  "udg",
+      "mis", "wcds",  "parallel",  "udg",      "service",
   };
   // Extra path prefixes treated as trace-affecting regardless of module
   // (the tests profile adds "tests/": a flaky iteration order in a test
@@ -159,6 +165,13 @@ struct Config {
   // The DAG itself; default_config() declares the repo's layering.  Empty
   // disables layer-dag.
   std::vector<ModuleSpec> modules;
+
+  // Modules allowed to call the per-algorithm construction entrypoints
+  // directly (facade-only): the algorithms' own module, the protocol
+  // drivers, and the facade that wraps them.  BM_ benchmark bodies are
+  // exempt in place — measuring the raw entrypoint is their point.
+  std::vector<std::string> facade_only_exempt_modules = {"wcds", "protocols",
+                                                         "facade"};
 
   // Rules to run; empty means all.
   std::set<std::string> enabled_rules;
