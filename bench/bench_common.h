@@ -76,12 +76,14 @@ inline Instance connected_instance_of(geom::WorkloadKind kind,
 // Run fn(trial) for every trial in [0, n) across the thread pool and return
 // the results in trial order — the multi-seed reproduction tables aggregate
 // from the ordered vector, so parallel and serial runs print identical
-// numbers (thread count comes from WCDS_THREADS, default
-// hardware_concurrency; 1 forces the serial path).  Falls back to serial
-// when an ambient recorder is installed (--json_out): MetricsRegistry is not
-// thread-safe.
+// numbers.  `threads` is the first-class knob (0 = WCDS_THREADS env /
+// hardware default, 1 = inline serial); the pool is resolved through
+// parallel::pool_for, so one pool is reused across every table of the run
+// instead of re-deriving the environment per call.  Falls back to serial
+// when an ambient recorder is installed (--json_out): MetricsRegistry is
+// not thread-safe.
 template <typename Fn>
-[[nodiscard]] auto run_trials(std::size_t n, Fn&& fn) {
+[[nodiscard]] auto run_trials(std::size_t n, Fn&& fn, std::size_t threads = 0) {
   using Result = std::invoke_result_t<Fn&, std::size_t>;
   std::vector<Result> results(n);
   if (obs::global_recorder() != nullptr) {
@@ -89,8 +91,8 @@ template <typename Fn>
       results[trial] = fn(trial);
     }
   } else {
-    parallel::parallel_for(0, n, 1,
-                           [&](std::size_t trial) { results[trial] = fn(trial); });
+    parallel::pool_for(threads).parallel_for(
+        0, n, 1, [&](std::size_t trial) { results[trial] = fn(trial); });
   }
   return results;
 }

@@ -59,9 +59,9 @@ BuildReport build(const graph::Graph& g, const BuildOptions& options) {
       break;
     }
     case BuildAlgorithm::kAlgorithm1Protocol: {
-      protocols::DistributedAlgorithm1Run run =
-          protocols::run_algorithm1(g, options.delays, rec,
-                                    options.queue_policy, options.faults);
+      protocols::DistributedAlgorithm1Run run = protocols::run_algorithm1(
+          g, options.delays, rec, options.queue_policy, options.faults,
+          options.execution, options.threads);
       report.result = std::move(run.wcds);
       report.stats = std::move(run.stats);
       report.leader = run.leader;
@@ -70,9 +70,9 @@ BuildReport build(const graph::Graph& g, const BuildOptions& options) {
       break;
     }
     case BuildAlgorithm::kAlgorithm2Protocol: {
-      protocols::DistributedWcdsRun run =
-          protocols::run_algorithm2(g, options.delays, rec,
-                                    options.queue_policy, options.faults);
+      protocols::DistributedWcdsRun run = protocols::run_algorithm2(
+          g, options.delays, rec, options.queue_policy, options.faults,
+          options.execution, options.threads);
       report.result = std::move(run.wcds);
       report.stats = std::move(run.stats);
       report.mis = mis_from_members(report.result.mis_dominators, n);

@@ -68,6 +68,19 @@ struct BuildOptions {
   // the flat queue policy.  Centralized modes ignore it (no radio).
   const fault::Plan* faults = nullptr;
 
+  // Protocol modes only: execution policy for multi-component deployments.
+  // Components never exchange messages, so each runs as an independent
+  // sub-run; kComponentSharded executes the sub-runs on the thread pool,
+  // kGlobal serially — outputs are byte-identical either way
+  // (sim/sharded.h).  Connected graphs take the single-runtime fast path
+  // regardless.  Centralized modes ignore it (and still require a
+  // connected graph).
+  sim::ExecutionPolicy execution = sim::ExecutionPolicy::kComponentSharded;
+
+  // Protocol modes only: thread count for the sharded runner (0 = the
+  // WCDS_THREADS env / hardware default, 1 = inline serial).
+  std::size_t threads = 0;
+
   // Observability: explicit recorder, else the ambient
   // obs::global_recorder(), else no recording.
   obs::Recorder* recorder = nullptr;
@@ -113,9 +126,10 @@ struct BuildReport {
   }
 };
 
-// Build a WCDS over the connected graph `g` as `options` selects.
-// Throws std::invalid_argument on an empty or disconnected graph (the
-// underlying entrypoints' contract).
+// Build a WCDS over `g` as `options` selects.  Throws std::invalid_argument
+// on an empty graph; the centralized modes additionally require `g`
+// connected (the reference algorithms' contract), while the protocol modes
+// accept disconnected deployments and build a per-component WCDS.
 [[nodiscard]] BuildReport build(const graph::Graph& g,
                                 const BuildOptions& options = {});
 

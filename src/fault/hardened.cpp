@@ -209,7 +209,9 @@ void HardenedNode::on_timer(sim::Context& ctx, std::uint64_t token) {
 TransportStats collect_transport_stats(const sim::Runtime& runtime) {
   TransportStats total;
   for (NodeId u = 0; u < runtime.node_count(); ++u) {
-    const auto* node = dynamic_cast<const HardenedNode*>(&runtime.node(u));
+    // node_if: an active-subset runtime holds no state machine at all for
+    // nodes outside its shard.
+    const auto* node = dynamic_cast<const HardenedNode*>(runtime.node_if(u));
     if (node == nullptr) continue;
     const TransportStats& stats = node->transport_stats();
     total.frames_sent += stats.frames_sent;
@@ -220,15 +222,19 @@ TransportStats collect_transport_stats(const sim::Runtime& runtime) {
   return total;
 }
 
-void record_transport_metrics(const sim::Runtime& runtime,
+void record_transport_metrics(const TransportStats& total,
                               obs::Recorder* recorder) {
   if (recorder == nullptr) return;
-  const TransportStats total = collect_transport_stats(runtime);
   auto& metrics = recorder->metrics();
   metrics.add("fault/frames", total.frames_sent);
   metrics.add("fault/retransmits", total.retransmits);
   metrics.add("fault/acks", total.acks_sent);
   metrics.add("fault/dup_ignored", total.duplicates_ignored);
+}
+
+void record_transport_metrics(const sim::Runtime& runtime,
+                              obs::Recorder* recorder) {
+  record_transport_metrics(collect_transport_stats(runtime), recorder);
 }
 
 }  // namespace wcds::fault

@@ -163,7 +163,10 @@ class HardenedNode final : public sim::ProtocolNode {
 
 // Fold the summed transport counters into `recorder` as `fault/frames`,
 // `fault/retransmits`, `fault/acks`, `fault/dup_ignored` (null recorder is
-// a no-op).
+// a no-op).  The stats overload serves the shard merge, which sums
+// per-shard collections before recording once.
+void record_transport_metrics(const TransportStats& total,
+                              obs::Recorder* recorder);
 void record_transport_metrics(const sim::Runtime& runtime,
                               obs::Recorder* recorder);
 

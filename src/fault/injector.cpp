@@ -102,12 +102,17 @@ bool Injector::receive_blocked(NodeId recipient, sim::SimTime at) {
 }
 
 void Injector::record_metrics(obs::Recorder* recorder) const {
+  record_counters(recorder, counters_);
+}
+
+void Injector::record_counters(obs::Recorder* recorder,
+                               const Counters& counters) {
   if (recorder == nullptr) return;
   auto& metrics = recorder->metrics();
-  metrics.add("fault/dropped", counters_.dropped);
-  metrics.add("fault/duplicated", counters_.duplicated);
-  metrics.add("fault/suppressed_sends", counters_.suppressed_sends);
-  metrics.add("fault/blocked_receives", counters_.blocked_receives);
+  metrics.add("fault/dropped", counters.dropped);
+  metrics.add("fault/duplicated", counters.duplicated);
+  metrics.add("fault/suppressed_sends", counters.suppressed_sends);
+  metrics.add("fault/blocked_receives", counters.blocked_receives);
 }
 
 }  // namespace wcds::fault

@@ -55,6 +55,11 @@ class Injector final : public sim::FaultHook {
   // Fold the counters into `recorder` (null is a no-op).
   void record_metrics(obs::Recorder* recorder) const;
 
+  // Same fold for counters summed outside an injector — the shard merge
+  // accumulates per-shard counters and records the aggregate once.
+  static void record_counters(obs::Recorder* recorder,
+                              const Counters& counters);
+
  private:
   // The link override active for `link_slot`, or null.
   [[nodiscard]] const LinkOverride* override_for(std::size_t link_slot) const;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "check/check.h"
 
@@ -154,6 +156,22 @@ std::atomic<ThreadPool*> g_pool_override{nullptr};
 ThreadPool& global_pool() {
   static ThreadPool pool;
   return pool;
+}
+
+ThreadPool& pool_for(std::size_t threads) {
+  // Pools are keyed by the *requested* count: pool_for(0) re-reads the
+  // environment only once, when its pool is first created, which is exactly
+  // the "stop re-deriving the env per call" fix bench::run_trials needs.
+  static base::Mutex mutex;
+  // unique_ptr elements keep ThreadPool references stable as the cache
+  // grows; destruction at exit joins the workers, like global_pool().
+  static std::vector<std::pair<std::size_t, std::unique_ptr<ThreadPool>>> pools;
+  const base::MutexLock lock(mutex);
+  for (const auto& [key, pool] : pools) {
+    if (key == threads) return *pool;
+  }
+  pools.emplace_back(threads, std::make_unique<ThreadPool>(threads));
+  return *pools.back().second;
 }
 
 ThreadPool* set_global_pool(ThreadPool* pool) noexcept {

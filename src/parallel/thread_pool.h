@@ -75,6 +75,14 @@ class ThreadPool {
 // threads.  Never constructed when the effective thread count is 1.
 [[nodiscard]] ThreadPool& global_pool();
 
+// Process-cached pool for an explicit thread count — the first-class
+// alternative to env-only configuration.  0 resolves WCDS_THREADS /
+// hardware_concurrency at the pool's creation; 1 returns a workerless pool
+// whose parallel_for runs inline on the caller.  Pools are created lazily,
+// one per distinct requested count, and live for the process (callers may
+// keep references across calls, so teardown would dangle).
+[[nodiscard]] ThreadPool& pool_for(std::size_t threads);
+
 // Install `pool` as the pool parallel_for() below uses; returns the previous
 // override (null = use the lazy global pool).  The swap itself is atomic,
 // but callers must still quiesce their own parallel_for calls before

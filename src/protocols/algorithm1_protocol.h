@@ -105,15 +105,28 @@ class Algorithm1Node final : public sim::ProtocolNode {
 struct DistributedAlgorithm1Run {
   core::WcdsResult wcds;
   sim::RunStats stats;
+  // Component 0's elected leader (the historical single-component field);
+  // `leaders` holds one per connected component, in component-index order.
   NodeId leader = kInvalidNode;
+  std::vector<NodeId> leaders;
   std::vector<std::uint32_t> levels;
 };
 
-// Run the three phases to quiescence on g (connected).  Under an
-// asynchronous delay model the flood tree is an *arbitrary* spanning tree
-// rather than a BFS tree — exactly the generality the paper claims
-// (Section 2.2: "first we build an arbitrary spanning tree"); Theorems 4/5
-// still hold because levels remain tree distances.
+// Run the three phases to quiescence on g.  Under an asynchronous delay
+// model the flood tree is an *arbitrary* spanning tree rather than a BFS
+// tree — exactly the generality the paper claims (Section 2.2: "first we
+// build an arbitrary spanning tree"); Theorems 4/5 still hold because
+// levels remain tree distances.
+//
+// g need not be connected: the protocol is purely message-driven, so a run
+// over a disconnected deployment is the composition of independent
+// per-component runs — each component elects its own leader and builds its
+// own level-ranked MIS.  `execution` picks how those component sub-runs
+// execute (serially, or sharded onto the thread pool; results are
+// byte-identical — see sim/sharded.h); `threads` sizes the pool under
+// kComponentSharded (0 = WCDS_THREADS env / hardware default, 1 = inline
+// serial).  A connected graph always takes the historical single-runtime
+// path, whatever the policy.
 //
 // `recorder` (explicit, else the ambient obs::global_recorder(), else none)
 // receives wall-clock phase timings, the sim's message metrics and the
@@ -131,6 +144,8 @@ struct DistributedAlgorithm1Run {
     const graph::Graph& g, const sim::DelayModel& delays = sim::DelayModel::unit(),
     obs::Recorder* recorder = nullptr,
     sim::QueuePolicy queue = sim::QueuePolicy::kFlat,
-    const fault::Plan* faults = nullptr);
+    const fault::Plan* faults = nullptr,
+    sim::ExecutionPolicy execution = sim::ExecutionPolicy::kComponentSharded,
+    std::size_t threads = 0);
 
 }  // namespace wcds::protocols

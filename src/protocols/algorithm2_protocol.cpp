@@ -1,13 +1,16 @@
 #include "protocols/algorithm2_protocol.h"
 
 #include <algorithm>
+#include <memory>
+#include <span>
 
 #include "check/audit.h"
 #include "check/check.h"
 #include "fault/hardened.h"
 #include "fault/injector.h"
 #include "fault/plan.h"
-#include "graph/bfs.h"
+#include "sim/shard_plan.h"
+#include "sim/sharded.h"
 
 namespace wcds::protocols {
 namespace {
@@ -217,17 +220,13 @@ DistributedWcdsRun run_algorithm2(const graph::Graph& g,
                                   const sim::DelayModel& delays,
                                   obs::Recorder* recorder,
                                   sim::QueuePolicy queue,
-                                  const fault::Plan* faults) {
+                                  const fault::Plan* faults,
+                                  sim::ExecutionPolicy execution,
+                                  std::size_t threads) {
   WCDS_REQUIRE(g.node_count() > 0, "run_algorithm2: empty graph");
-  WCDS_REQUIRE(graph::is_connected(g),
-               "run_algorithm2: graph must be connected");
   obs::Recorder* rec = obs::recorder_or_global(recorder);
   obs::PhaseTimer total_timer(rec, "alg2/total");
   const bool hardened = faults != nullptr;
-  std::unique_ptr<fault::Injector> injector;
-  if (hardened) {
-    injector = std::make_unique<fault::Injector>(*faults, g.node_count());
-  }
   const sim::Runtime::NodeFactory factory =
       hardened ? sim::Runtime::NodeFactory([](NodeId) {
         return std::make_unique<fault::HardenedNode>(
@@ -236,40 +235,128 @@ DistributedWcdsRun run_algorithm2(const graph::Graph& g,
                : sim::Runtime::NodeFactory([](NodeId) {
                    return std::make_unique<Algorithm2Node>();
                  });
-  sim::Runtime runtime(g, factory, delays, rec, queue, injector.get());
-  DistributedWcdsRun run;
-  {
-    obs::PhaseTimer run_timer(rec, "alg2/protocol_run");
-    run.stats = runtime.run();
-  }
-  WCDS_REQUIRE_STATE(run.stats.quiescent,
-                     "run_algorithm2: event budget exceeded");
-  if (hardened) {
-    injector->record_metrics(rec);
-    fault::record_transport_metrics(runtime, rec);
-  }
-  obs::PhaseTimer extract_timer(rec, "alg2/extract");
 
   const std::size_t n = g.node_count();
+  const sim::ShardPlan plan = sim::ShardPlan::build(g);
+  const std::size_t shard_count = plan.shard_count();
+  DistributedWcdsRun run;
   core::WcdsResult& r = run.wcds;
   r.mask.assign(n, false);
   r.color.assign(n, core::NodeColor::kGray);
-  for (NodeId u = 0; u < n; ++u) {
-    const auto& node = as_algorithm2(runtime, u, hardened);
-    if (node.is_mis_dominator()) {
-      r.mis_dominators.push_back(u);
-      r.mask[u] = true;
-    } else if (node.is_additional_dominator()) {
-      r.additional_dominators.push_back(u);
-      r.mask[u] = true;
-    }
-    if (r.mask[u]) {
-      r.dominators.push_back(u);
-      r.color[u] = core::NodeColor::kBlack;
-    }
-  }
 
-  extract_timer.stop();
+  if (shard_count == 1) {
+    // Connected graph: the historical single-runtime path, byte-for-byte —
+    // ambient recorder on the runtime, unmixed seeds, zero shard overhead.
+    std::unique_ptr<fault::Injector> injector;
+    if (hardened) {
+      injector = std::make_unique<fault::Injector>(*faults, n);
+    }
+    sim::Runtime runtime(g, factory, delays, rec, queue, injector.get());
+    {
+      obs::PhaseTimer run_timer(rec, "alg2/protocol_run");
+      run.stats = runtime.run();
+    }
+    WCDS_REQUIRE_STATE(run.stats.quiescent,
+                       "run_algorithm2: event budget exceeded");
+    if (hardened) {
+      injector->record_metrics(rec);
+      fault::record_transport_metrics(runtime, rec);
+    }
+    if (rec != nullptr) rec->metrics().set("sim/shards", 1.0);
+    obs::PhaseTimer extract_timer(rec, "alg2/extract");
+    for (NodeId u = 0; u < n; ++u) {
+      const auto& node = as_algorithm2(runtime, u, hardened);
+      if (node.is_mis_dominator()) {
+        r.mis_dominators.push_back(u);
+        r.mask[u] = true;
+      } else if (node.is_additional_dominator()) {
+        r.additional_dominators.push_back(u);
+        r.mask[u] = true;
+      }
+      if (r.mask[u]) {
+        r.dominators.push_back(u);
+        r.color[u] = core::NodeColor::kBlack;
+      }
+    }
+    extract_timer.stop();
+  } else {
+    // Disconnected deployment: one independent sub-run per component, under
+    // `execution` (sim/sharded.h).  Shards record each node's final role in
+    // disjoint slots; the ascending rebuild below restores the sorted
+    // dominator lists the single-runtime scan would have produced.
+    enum : std::uint8_t { kRoleNone = 0, kRoleMis = 1, kRoleAdditional = 2 };
+    std::vector<std::uint8_t> role(n, kRoleNone);
+    std::vector<sim::ShardOutcome> outcomes(shard_count);
+    std::vector<fault::Injector::Counters> fault_counters(
+        hardened ? shard_count : 0);
+    std::vector<fault::TransportStats> transports(hardened ? shard_count : 0);
+    {
+      obs::PhaseTimer run_timer(rec, "alg2/protocol_run");
+      sim::for_each_shard(execution, shard_count, threads, [&](std::size_t c) {
+        const std::span<const NodeId> members = plan.shard(c);
+        std::unique_ptr<fault::Injector> injector;
+        if (hardened) {
+          injector = std::make_unique<fault::Injector>(
+              faults->for_shard(static_cast<std::uint32_t>(c)), n);
+        }
+        sim::DelayModel shard_delays = delays;
+        shard_delays.seed =
+            sim::shard_stream_seed(delays.seed, static_cast<std::uint32_t>(c));
+        outcomes[c] = sim::run_shard(
+            g, members, factory, shard_delays, queue, injector.get(),
+            /*record=*/rec != nullptr,
+            /*capture_trace=*/rec != nullptr && rec->trace_sink() != nullptr,
+            sim::kDefaultMaxEvents, [&](sim::Runtime& runtime) {
+              for (NodeId u : members) {
+                const auto& node = as_algorithm2(runtime, u, hardened);
+                if (node.is_mis_dominator()) {
+                  role[u] = kRoleMis;
+                } else if (node.is_additional_dominator()) {
+                  role[u] = kRoleAdditional;
+                }
+              }
+              if (hardened) {
+                fault_counters[c] = injector->counters();
+                transports[c] = fault::collect_transport_stats(runtime);
+              }
+            });
+      });
+    }
+    run.stats = sim::merge_shards(outcomes, rec);
+    WCDS_REQUIRE_STATE(run.stats.quiescent,
+                       "run_algorithm2: event budget exceeded");
+    if (hardened) {
+      fault::Injector::Counters counter_total;
+      fault::TransportStats transport_total;
+      for (std::size_t c = 0; c < shard_count; ++c) {
+        counter_total.suppressed_sends += fault_counters[c].suppressed_sends;
+        counter_total.dropped += fault_counters[c].dropped;
+        counter_total.duplicated += fault_counters[c].duplicated;
+        counter_total.blocked_receives += fault_counters[c].blocked_receives;
+        transport_total.frames_sent += transports[c].frames_sent;
+        transport_total.retransmits += transports[c].retransmits;
+        transport_total.acks_sent += transports[c].acks_sent;
+        transport_total.duplicates_ignored += transports[c].duplicates_ignored;
+      }
+      fault::Injector::record_counters(rec, counter_total);
+      fault::record_transport_metrics(transport_total, rec);
+    }
+    obs::PhaseTimer extract_timer(rec, "alg2/extract");
+    for (NodeId u = 0; u < n; ++u) {
+      if (role[u] == kRoleMis) {
+        r.mis_dominators.push_back(u);
+        r.mask[u] = true;
+      } else if (role[u] == kRoleAdditional) {
+        r.additional_dominators.push_back(u);
+        r.mask[u] = true;
+      }
+      if (r.mask[u]) {
+        r.dominators.push_back(u);
+        r.color[u] = core::NodeColor::kBlack;
+      }
+    }
+    extract_timer.stop();
+  }
 
   if (rec != nullptr) {
     auto& metrics = rec->metrics();

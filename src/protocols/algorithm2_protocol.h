@@ -117,10 +117,19 @@ struct DistributedWcdsRun {
   sim::RunStats stats;
 };
 
-// Build the WCDS by running the protocol to quiescence on g (connected).
-// The protocol is event-driven: under an asynchronous delay model it yields
-// the same MIS (the rule's fixpoint is timing-independent) and a possibly
-// different — but still valid — additional-dominator set.
+// Build the WCDS by running the protocol to quiescence on g.  The protocol
+// is event-driven: under an asynchronous delay model it yields the same MIS
+// (the rule's fixpoint is timing-independent) and a possibly different —
+// but still valid — additional-dominator set.
+//
+// g need not be connected: the protocol is fully localized, so a run over a
+// disconnected deployment is the composition of independent per-component
+// runs.  `execution` picks how those component sub-runs execute (serially,
+// or sharded onto the thread pool; results are byte-identical — see
+// sim/sharded.h); `threads` sizes the pool under kComponentSharded (0 =
+// WCDS_THREADS env / hardware default, 1 = inline serial).  A connected
+// graph always takes the historical single-runtime path, whatever the
+// policy.
 //
 // `recorder` (explicit, else the ambient obs::global_recorder(), else none)
 // receives wall-clock phase timings, the sim's message metrics and the
@@ -140,6 +149,8 @@ struct DistributedWcdsRun {
     const graph::Graph& g, const sim::DelayModel& delays = sim::DelayModel::unit(),
     obs::Recorder* recorder = nullptr,
     sim::QueuePolicy queue = sim::QueuePolicy::kFlat,
-    const fault::Plan* faults = nullptr);
+    const fault::Plan* faults = nullptr,
+    sim::ExecutionPolicy execution = sim::ExecutionPolicy::kComponentSharded,
+    std::size_t threads = 0);
 
 }  // namespace wcds::protocols

@@ -74,9 +74,11 @@ void Context::set_timer(SimTime delay, std::uint64_t token) {
 
 Runtime::Runtime(const graph::Graph& g, const NodeFactory& factory,
                  const DelayModel& delays, obs::Recorder* recorder,
-                 QueuePolicy policy, FaultHook* faults)
-    : graph_(g), policy_(policy), delays_(delays),
-      delay_rng_(delays.seed + 1), recorder_(recorder), fault_(faults) {
+                 QueuePolicy policy, FaultHook* faults,
+                 std::span<const NodeId> active)
+    : graph_(g), active_(active.begin(), active.end()), policy_(policy),
+      delays_(delays), delay_rng_(delays.seed + 1), recorder_(recorder),
+      fault_(faults) {
   WCDS_REQUIRE(delays_.min_delay >= 1 && delays_.max_delay >= delays_.min_delay,
                "Runtime: invalid delay model");
   WCDS_REQUIRE(fault_ == nullptr || policy_ == QueuePolicy::kFlat,
@@ -87,11 +89,21 @@ Runtime::Runtime(const graph::Graph& g, const NodeFactory& factory,
     // time is >= 1, so max(at, 0 + 1) leaves a first send untouched.
     link_clock_.assign(graph_.adjacency_slots(), 0);
   }
-  nodes_.reserve(g.node_count());
-  for (NodeId u = 0; u < g.node_count(); ++u) {
-    nodes_.push_back(factory(u));
-    WCDS_REQUIRE(nodes_.back() != nullptr,
-                 "Runtime: factory returned null node for " << u);
+  nodes_.resize(g.node_count());
+  if (active_.empty()) {
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      nodes_[u] = factory(u);
+      WCDS_REQUIRE(nodes_[u] != nullptr,
+                   "Runtime: factory returned null node for " << u);
+    }
+  } else {
+    for (NodeId u : active_) {
+      WCDS_REQUIRE(u < g.node_count() && nodes_[u] == nullptr,
+                   "Runtime: invalid or repeated active node " << u);
+      nodes_[u] = factory(u);
+      WCDS_REQUIRE(nodes_[u] != nullptr,
+                   "Runtime: factory returned null node for " << u);
+    }
   }
 }
 
@@ -344,16 +356,18 @@ void Runtime::record_deliver(SimTime time, NodeId src, NodeId recipient,
   }
 }
 
-void Runtime::record_run_stats() {
-  auto& metrics = recorder_->metrics();
-  metrics.add("sim/transmissions", stats_.transmissions);
-  metrics.add("sim/deliveries", stats_.deliveries);
+void record_run_metrics(obs::Recorder* recorder, const RunStats& stats,
+                        std::uint64_t max_queue_depth) {
+  if (recorder == nullptr) return;
+  auto& metrics = recorder->metrics();
+  metrics.add("sim/transmissions", stats.transmissions);
+  metrics.add("sim/deliveries", stats.deliveries);
   metrics.set_max("sim/completion_time",
-                  static_cast<double>(stats_.completion_time));
+                  static_cast<double>(stats.completion_time));
   metrics.set_max("sim/max_queue_depth",
-                  static_cast<double>(max_queue_depth_));
-  metrics.set("sim/quiescent", stats_.quiescent ? 1.0 : 0.0);
-  for (const auto& [type, count] : stats_.per_type) {
+                  static_cast<double>(max_queue_depth));
+  metrics.set("sim/quiescent", stats.quiescent ? 1.0 : 0.0);
+  for (const auto& [type, count] : stats.per_type) {
     metrics.add("sim/msg_type/" + std::to_string(type), count);
   }
 }
@@ -367,15 +381,24 @@ void Runtime::finalize_stats(bool quiescent) {
   }
   // Budget-tripped runs fold their stats too — those are exactly the runs
   // worth inspecting.
-  if (recorder_ != nullptr) record_run_stats();
+  record_run_metrics(recorder_, stats_, max_queue_depth_);
 }
 
 RunStats Runtime::run(std::uint64_t max_events) {
   WCDS_REQUIRE_STATE(!ran_, "Runtime: run() called twice");
   ran_ = true;
-  for (NodeId u = 0; u < nodes_.size(); ++u) {
-    Context ctx(*this, u, 0);
-    nodes_[u]->on_start(ctx);
+  if (active_.empty()) {
+    for (NodeId u = 0; u < nodes_.size(); ++u) {
+      Context ctx(*this, u, 0);
+      nodes_[u]->on_start(ctx);
+    }
+  } else {
+    // A shard's members ascend within the component, so a member-restricted
+    // sweep sees exactly the global on_start order restricted to the shard.
+    for (NodeId u : active_) {
+      Context ctx(*this, u, 0);
+      nodes_[u]->on_start(ctx);
+    }
   }
   std::uint64_t events = 0;
   if (policy_ == QueuePolicy::kReferenceMap) {

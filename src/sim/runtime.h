@@ -74,6 +74,21 @@ enum class QueuePolicy : std::uint8_t {
   kReferenceMap,  // std::map of per-delivery Message copies (testing only)
 };
 
+// Execution policy for runs over multi-component topologies (sim/sharded.h).
+// Components never exchange messages, so a run over a disconnected graph is
+// DEFINED as the composition of independent per-component sub-runs folded in
+// component-index order (graph::connected_components labels components by
+// smallest member).  kGlobal executes the sub-runs serially on the caller;
+// kComponentSharded executes the same sub-runs on the parallel::ThreadPool.
+// Both policies share one code path per component, so traces, RunStats,
+// metrics and constructed outputs are byte-identical at any thread count.
+enum class ExecutionPolicy : std::uint8_t { kGlobal, kComponentSharded };
+
+// Default event budget of Runtime::run (runaway-protocol guard).  Applies
+// per component sub-run under sharded execution: shards cannot share a
+// remaining-budget counter without reintroducing cross-shard coupling.
+inline constexpr std::uint64_t kDefaultMaxEvents = 100'000'000;
+
 class Runtime;
 
 // Per-delivery view handed to protocol handlers; the only way a node may act
@@ -154,11 +169,18 @@ class Runtime {
   // jitter and timers break — and requires the flat queue policy.  The
   // null-hook path is byte-identical to a runtime built without the
   // parameter (guarded by tests/fault_test.cpp).
+  //
+  // `active` (empty by default = every node) restricts the runtime to a
+  // subset of the graph's nodes: only active nodes get a ProtocolNode and an
+  // on_start, in the given order.  The subset must be closed under adjacency
+  // (a union of whole connected components, e.g. one ShardPlan shard) —
+  // messages to nodes outside it would reach a null state machine.
   Runtime(const graph::Graph& g, const NodeFactory& factory,
           const DelayModel& delays = DelayModel::unit(),
           obs::Recorder* recorder = nullptr,
           QueuePolicy policy = QueuePolicy::kFlat,
-          FaultHook* faults = nullptr);
+          FaultHook* faults = nullptr,
+          std::span<const NodeId> active = {});
 
   // Observability hook.  Null (the default) records nothing and keeps the
   // hot path at a single predicted branch per event, so benchmark timings
@@ -173,14 +195,23 @@ class Runtime {
   // Run until quiescence.  `max_events` guards against protocol bugs.
   // Stats (including the metrics fold into the recorder) are produced even
   // when the budget trips — those are exactly the runs worth inspecting.
-  RunStats run(std::uint64_t max_events = 100'000'000);
+  RunStats run(std::uint64_t max_events = kDefaultMaxEvents);
 
   [[nodiscard]] const graph::Graph& topology() const { return graph_; }
   [[nodiscard]] ProtocolNode& node(NodeId u) { return *nodes_[u]; }
   [[nodiscard]] const ProtocolNode& node(NodeId u) const { return *nodes_[u]; }
+  // Null-safe lookup: nullptr for nodes outside the active subset.
+  [[nodiscard]] const ProtocolNode* node_if(NodeId u) const {
+    return nodes_[u].get();
+  }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
   [[nodiscard]] QueuePolicy queue_policy() const noexcept { return policy_; }
   [[nodiscard]] FaultHook* fault_hook() const noexcept { return fault_; }
+  // Deepest queue observed while a recorder was installed (0 otherwise); the
+  // shard merge layer folds these with set_max across components.
+  [[nodiscard]] std::uint64_t max_queue_depth() const noexcept {
+    return max_queue_depth_;
+  }
 
  private:
   friend class Context;
@@ -264,7 +295,6 @@ class Runtime {
   void record_send(NodeId src, NodeId dst, MessageType type, SimTime now);
   void record_deliver(SimTime time, NodeId src, NodeId recipient,
                       MessageType type);
-  void record_run_stats();
 
   // Delivery time for one copy, honoring the delay model and per-link FIFO.
   // `link_slot` is the sender's directed CSR slot for the recipient
@@ -276,7 +306,10 @@ class Runtime {
   void finalize_stats(bool quiescent);
 
   const graph::Graph& graph_;
+  // Indexed by global NodeId; null outside the active subset.
   std::vector<std::unique_ptr<ProtocolNode>> nodes_;
+  // on_start order; empty means all nodes in ascending id order.
+  std::vector<NodeId> active_;
   QueuePolicy policy_;
 
   // Flat queue, unit-delay calendar: every in-flight delivery is due either
@@ -321,5 +354,12 @@ class Runtime {
   FaultHook* fault_ = nullptr;
   std::uint64_t max_queue_depth_ = 0;  // tracked only while recording
 };
+
+// Fold one finished run's terminal stats into `recorder`'s metrics (null =
+// no-op): the sim/* counter/gauge family of docs/OBSERVABILITY.md.  Shared
+// by Runtime's exit path and merge_shards (sim/sharded.h), so a sharded run
+// records exactly what the equivalent single-queue run would.
+void record_run_metrics(obs::Recorder* recorder, const RunStats& stats,
+                        std::uint64_t max_queue_depth);
 
 }  // namespace wcds::sim

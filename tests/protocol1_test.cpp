@@ -16,8 +16,17 @@ TEST(Protocol1, RejectsBadInput) {
   graph::GraphBuilder empty(0);
   EXPECT_THROW(run_algorithm1(std::move(empty).build()),
                std::invalid_argument);
-  const auto disconnected = graph::from_edges(4, {{0, 1}, {2, 3}});
-  EXPECT_THROW(run_algorithm1(disconnected), std::invalid_argument);
+}
+
+// Disconnected deployments compose per-component sub-runs: each component
+// elects its own leader and builds its own backbone (sim/sharded.h).
+TEST(Protocol1, DisconnectedComposesPerComponent) {
+  const auto g = graph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto run = run_algorithm1(g);
+  EXPECT_EQ(run.leader, 0u);  // component 0's leader
+  EXPECT_EQ(run.leaders, (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(run.wcds.dominators, (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(run.levels, (std::vector<std::uint32_t>{0, 1, 0, 1}));
 }
 
 TEST(Protocol1, SingleNode) {

@@ -16,8 +16,15 @@ TEST(Protocol2, RejectsBadInput) {
   graph::GraphBuilder empty(0);
   EXPECT_THROW(run_algorithm2(std::move(empty).build()),
                std::invalid_argument);
-  const auto disconnected = graph::from_edges(4, {{0, 1}, {2, 3}});
-  EXPECT_THROW(run_algorithm2(disconnected), std::invalid_argument);
+}
+
+// Disconnected deployments compose per-component sub-runs (sim/sharded.h):
+// the lowest ID in each component turns MIS-dominator independently.
+TEST(Protocol2, DisconnectedComposesPerComponent) {
+  const auto g = graph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto run = run_algorithm2(g);
+  EXPECT_EQ(run.wcds.mis_dominators, (std::vector<NodeId>{0, 2}));
+  EXPECT_TRUE(run.wcds.additional_dominators.empty());
 }
 
 TEST(Protocol2, SingleNode) {

@@ -38,6 +38,8 @@ TIMING_GAUGE_PREFIXES = (
     "a6/crash_repair_ms/",
     "a6/recover_repair_ms/",
     "a7/serve_ms/",
+    "a8/global_ms/",
+    "a8/sharded_ms/",
 )
 PHASE_HISTOGRAM_PREFIX = "phase_ms/"
 

@@ -336,7 +336,7 @@ Config default_config() {
       {"audit", {"check", "geom", "graph", "mis", "wcds_types"}},
       {"spanner",
        {"audit", "check", "geom", "graph", "obs", "parallel", "wcds_types"}},
-      {"sim", {"base", "check", "geom", "graph", "obs"}},
+      {"sim", {"base", "check", "geom", "graph", "obs", "parallel"}},
       {"fault", {"check", "geom", "graph", "obs", "sim"}},
       {"routing",
        {"check", "geom", "graph", "mis", "obs", "sim", "wcds", "wcds_types"}},

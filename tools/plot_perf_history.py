@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Plot the perf-gate timing series across CI runs as a standalone SVG.
+
+The perf-gate job uploads its fresh wcds-bench/v1 reports twice: once under
+the fixed name ``perf-gate-json`` (latest-run consumers) and once as
+``perf-gate-json-run<N>`` with a 90-day retention (the rolling series).  The
+nightly perf-history job downloads every surviving run-numbered artifact
+into ``<history>/perf-gate-json-run<N>/BENCH_*.json`` and feeds the tree to
+this script, which extracts the same timing metrics the gate compares
+(tools/compare_bench.py) and renders one chart per bench file with one
+polyline per metric.  Drift *inside* the gate's +-25% tolerance band is
+invisible to the gate run-over-run but accumulates visibly here.
+
+Stdlib only — the chart is hand-assembled SVG, no plotting dependency.
+
+Usage:
+  plot_perf_history.py --history <dir> --out perf_history.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from compare_bench import timing_metrics  # noqa: E402
+
+RUN_DIR_RE = re.compile(r"perf-gate-json-run(\d+)$")
+
+PALETTE = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+]
+
+CHART_W = 760
+CHART_H = 180
+MARGIN_L = 60
+MARGIN_T = 34
+LEGEND_W = 330
+ROW_GAP = 28
+
+
+def collect(history_dir: str) -> Dict[str, Dict[str, List[Tuple[int, float]]]]:
+    """bench name -> metric -> [(run number, ms)] sorted by run."""
+    series: Dict[str, Dict[str, List[Tuple[int, float]]]] = defaultdict(
+        lambda: defaultdict(list))
+    for entry in sorted(os.listdir(history_dir)):
+        m = RUN_DIR_RE.search(entry)
+        if not m:
+            continue
+        run = int(m.group(1))
+        for path in sorted(glob.glob(os.path.join(history_dir, entry,
+                                                  "BENCH_*.json"))):
+            bench = os.path.splitext(os.path.basename(path))[0]
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    report = json.load(fh)
+            except (OSError, json.JSONDecodeError) as err:
+                print(f"skipping {path}: {err}", file=sys.stderr)
+                continue
+            for name, value in timing_metrics(report).items():
+                series[bench][name].append((run, value))
+    for metrics in series.values():
+        for points in metrics.values():
+            points.sort()
+    return series
+
+
+def fmt(value: float) -> str:
+    return f"{value:.3g}"
+
+
+def chart_svg(bench: str, metrics: Dict[str, List[Tuple[int, float]]],
+              y_offset: int, out: List[str]) -> None:
+    runs = sorted({run for points in metrics.values() for run, _ in points})
+    y_max = max(v for points in metrics.values() for _, v in points)
+    y_max = y_max * 1.05 if y_max > 0 else 1.0
+
+    def x_of(run: int) -> float:
+        if len(runs) == 1:
+            return MARGIN_L + CHART_W / 2
+        return MARGIN_L + CHART_W * runs.index(run) / (len(runs) - 1)
+
+    def y_of(value: float) -> float:
+        return y_offset + MARGIN_T + CHART_H * (1.0 - value / y_max)
+
+    top = y_offset + MARGIN_T
+    out.append(f'<text x="{MARGIN_L}" y="{y_offset + 20}" '
+               f'font-weight="bold">{bench} (ms, runs {runs[0]}..{runs[-1]})'
+               f'</text>')
+    out.append(f'<rect x="{MARGIN_L}" y="{top}" width="{CHART_W}" '
+               f'height="{CHART_H}" fill="none" stroke="#ccc"/>')
+    out.append(f'<text x="{MARGIN_L - 6}" y="{top + 10}" '
+               f'text-anchor="end">{fmt(y_max)}</text>')
+    out.append(f'<text x="{MARGIN_L - 6}" y="{top + CHART_H}" '
+               f'text-anchor="end">0</text>')
+    out.append(f'<text x="{MARGIN_L}" y="{top + CHART_H + 16}">run '
+               f'{runs[0]}</text>')
+    out.append(f'<text x="{MARGIN_L + CHART_W}" y="{top + CHART_H + 16}" '
+               f'text-anchor="end">run {runs[-1]}</text>')
+
+    for i, (name, points) in enumerate(sorted(metrics.items())):
+        color = PALETTE[i % len(PALETTE)]
+        coords = " ".join(f"{x_of(r):.1f},{y_of(v):.1f}" for r, v in points)
+        if len(points) > 1:
+            out.append(f'<polyline points="{coords}" fill="none" '
+                       f'stroke="{color}" stroke-width="1.5"/>')
+        for r, v in points:
+            out.append(f'<circle cx="{x_of(r):.1f}" cy="{y_of(v):.1f}" '
+                       f'r="2" fill="{color}"/>')
+        first, last = points[0][1], points[-1][1]
+        drift = f" ({last / first:.2f}x)" if first > 0 else ""
+        ly = top + 12 + 14 * i
+        out.append(f'<rect x="{MARGIN_L + CHART_W + 12}" y="{ly - 8}" '
+                   f'width="10" height="10" fill="{color}"/>')
+        out.append(f'<text x="{MARGIN_L + CHART_W + 26}" y="{ly}">'
+                   f'{name}: {fmt(last)}{drift}</text>')
+
+
+def render(series: Dict[str, Dict[str, List[Tuple[int, float]]]],
+           out_path: str) -> None:
+    body: List[str] = []
+    y = 0
+    for bench in sorted(series):
+        legend_rows = len(series[bench])
+        block = max(MARGIN_T + CHART_H + ROW_GAP,
+                    MARGIN_T + 12 + 14 * legend_rows + ROW_GAP)
+        chart_svg(bench, series[bench], y, body)
+        y += block
+    width = MARGIN_L + CHART_W + LEGEND_W
+    svg = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{y}" font-family="monospace" font-size="11">',
+        f'<rect width="{width}" height="{y}" fill="white"/>',
+        *body,
+        "</svg>",
+    ]
+    with open(out_path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(svg) + "\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--history", required=True,
+                        help="directory of perf-gate-json-run<N> subdirs")
+    parser.add_argument("--out", default="perf_history.svg")
+    args = parser.parse_args()
+
+    series = collect(args.history)
+    if not series:
+        # A fresh repo (or expired retention) has no rolling artifacts yet;
+        # that is a no-op, not a failure.
+        print("no perf-gate-json-run<N> reports found; nothing to plot")
+        return 0
+    render(series, args.out)
+    runs = {r for m in series.values() for p in m.values() for r, _ in p}
+    print(f"wrote {args.out}: {len(series)} bench file(s), "
+          f"{sum(len(m) for m in series.values())} metric series, "
+          f"{len(runs)} run(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,12 @@
 //   generate  --n N --degree D [--workload uniform|clustered|grid|corridor|ring]
 //             [--seed S] --out points.txt
 //       Generate a connected deployment and save it.
-//   backbone  --points points.txt [--algorithm 1|2] [--svg out.svg]
-//       Build the WCDS, print statistics, optionally render an SVG.
+//   backbone  --points points.txt [--algorithm 1|2] [--mode central|protocol]
+//             [--threads T] [--svg out.svg]
+//       Build the WCDS, print statistics, optionally render an SVG.  The
+//       protocol mode runs the distributed construction over the sim and
+//       accepts disconnected deployments (one backbone per component,
+//       component sub-runs sharded across T threads; 0 = WCDS_THREADS env).
 //   route     --points points.txt --src A --dst B
 //       Build the Algorithm II backbone and route one packet.
 //   stats     --points points.txt
@@ -25,6 +29,7 @@
 
 #include "baselines/exact.h"
 #include "broadcast/backbone_broadcast.h"
+#include "check/audit.h"
 #include "geom/rng.h"
 #include "geom/workload.h"
 #include "graph/bfs.h"
@@ -119,35 +124,77 @@ int cmd_generate(const Args& args) {
 int cmd_backbone(const Args& args) {
   const auto points = io::load_points(args.require("points"));
   const auto g = udg::build_udg(points);
-  if (!graph::is_connected(g)) {
-    std::cerr << "deployment is not connected\n";
+  const std::string mode = args.get("mode").value_or("central");
+  const bool protocol = mode == "protocol";
+  if (!protocol && mode != "central") {
+    std::cerr << "--mode must be central or protocol\n";
+    return 1;
+  }
+  const bool connected = graph::is_connected(g);
+  if (!protocol && !connected) {
+    std::cerr << "deployment is not connected (use --mode protocol for a "
+                 "per-component backbone)\n";
     return 1;
   }
   const auto algorithm = args.get_u64("algorithm", 2);
   core::BuildOptions build_options;
   if (algorithm == 1) {
-    build_options.algorithm = core::BuildAlgorithm::kAlgorithm1Central;
+    build_options.algorithm = protocol
+                                  ? core::BuildAlgorithm::kAlgorithm1Protocol
+                                  : core::BuildAlgorithm::kAlgorithm1Central;
   } else if (algorithm == 2) {
-    build_options.algorithm = core::BuildAlgorithm::kAlgorithm2Central;
+    build_options.algorithm = protocol
+                                  ? core::BuildAlgorithm::kAlgorithm2Protocol
+                                  : core::BuildAlgorithm::kAlgorithm2Central;
   } else {
     std::cerr << "--algorithm must be 1 or 2\n";
     return 1;
   }
-  core::WcdsResult result = core::build(g, build_options).result;
-  const auto spanner = core::extract_spanner(g, result);
-  const auto topo = spanner::topological_dilation(g, spanner, 40);
-  std::cout << "algorithm " << algorithm << ": |U| = " << result.size() << " ("
+  build_options.threads =
+      static_cast<std::size_t>(args.get_u64("threads", 0));
+  const core::BuildReport report = core::build(g, build_options);
+  const core::WcdsResult& result = report.result;
+  // is_wcds assumes one component; disconnected protocol runs verify each
+  // component's backbone through the paper-invariant auditor instead.
+  bool verified = false;
+  if (connected) {
+    verified = core::is_wcds(g, result.mask);
+  } else {
+    try {
+      check::AuditOptions audit_options;
+      audit_options.unit_disk = true;
+      check::audit_invariants(g, result, audit_options);
+      verified = true;
+    } catch (const std::exception&) {
+      verified = false;
+    }
+  }
+  std::cout << "algorithm " << algorithm << " (" << mode
+            << "): |U| = " << result.size() << " ("
             << result.mis_dominators.size() << " MIS + "
             << result.additional_dominators.size() << " additional)\n"
-            << "verified WCDS: " << std::boolalpha
-            << core::is_wcds(g, result.mask) << "\n"
-            << "spanner: " << spanner.edge_count() << " of " << g.edge_count()
-            << " edges; topological dilation max " << topo.max_ratio
-            << ", mean " << topo.mean_ratio << "\n"
-            << "lower bound on opt: "
-            << baselines::udg_mwcds_lower_bound(
-                   mis::greedy_mis_by_id(g).size())
-            << "\n";
+            << "verified WCDS" << (connected ? "" : " (per component)")
+            << ": " << std::boolalpha << verified << "\n";
+  if (protocol) {
+    std::cout << "sim: " << report.stats.transmissions << " transmissions, "
+              << "completion time " << report.stats.completion_time << "\n";
+  }
+  // The spanner/dilation analysis assumes one component; a disconnected
+  // protocol run reports per-component structure instead.
+  if (connected) {
+    const auto spanner = core::extract_spanner(g, result);
+    const auto topo = spanner::topological_dilation(g, spanner, 40);
+    std::cout << "spanner: " << spanner.edge_count() << " of "
+              << g.edge_count() << " edges; topological dilation max "
+              << topo.max_ratio << ", mean " << topo.mean_ratio << "\n"
+              << "lower bound on opt: "
+              << baselines::udg_mwcds_lower_bound(
+                     mis::greedy_mis_by_id(g).size())
+              << "\n";
+  } else {
+    std::cout << "components: " << graph::connected_components(g).count
+              << " (spanner analysis skipped for disconnected input)\n";
+  }
   if (const auto svg = args.get("svg")) {
     io::save_svg(*svg, points, g, result);
     std::cout << "rendered " << *svg << "\n";
@@ -267,7 +314,8 @@ void usage() {
       << "usage: wcds <generate|backbone|route|stats|broadcast|maintain> "
          "[--flag value ...]\n"
          "  generate  --n N --degree D [--workload KIND] [--seed S] --out F\n"
-         "  backbone  --points F [--algorithm 1|2] [--svg OUT]\n"
+         "  backbone  --points F [--algorithm 1|2] [--mode central|protocol]"
+         " [--threads T] [--svg OUT]\n"
          "  route     --points F --src A --dst B\n"
          "  stats     --points F\n"
          "  broadcast --points F [--source S]\n"
