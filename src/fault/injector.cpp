@@ -92,6 +92,11 @@ bool Injector::duplicate_copy(std::size_t link_slot) {
 
 sim::SimTime Injector::extra_delay() {
   if (plan_.max_jitter == 0) return 0;
+  // The gate is a plan constant, not link state: either every delivery in a
+  // run draws jitter or none does, so the stream position still depends only
+  // on the delivery sequence.  (Drawing next_below(1) unconditionally would
+  // also shift every existing zero-jitter trace.)
+  // wcds-lint: allow(rng-draw-discipline)
   return rng_.next_below(plan_.max_jitter + 1);
 }
 

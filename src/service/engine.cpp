@@ -138,6 +138,11 @@ bool ServingEngine::transmit(NodeId from, NodeId to, geom::Xoshiro256ss& rng,
         ok = false;
       } else {
         const double p = drop_probability(from, to);
+        // p is a property of the (from, to) link for the whole run, so the
+        // same hop draws identically on every attempt; skipping the draw on
+        // loss-free links is deliberate — it keeps fault-free serving traces
+        // byte-identical to the pre-fault-injection ones.
+        // wcds-lint: allow(rng-draw-discipline)
         if (p > 0.0 && rng.next_double() < p) ok = false;
       }
     }

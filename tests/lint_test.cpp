@@ -700,7 +700,8 @@ TEST(LintEngine, RuleListIsStable) {
       "no-bare-assert",   "paper-constant",  "hot-path-alloc",
       "message-type-registry", "metric-doc-sync", "pragma-once",
       "include-hygiene", "no-unordered-iteration", "no-pointer-order",
-      "no-ambient-entropy", "layer-dag", "facade-only"};
+      "no-ambient-entropy", "layer-dag", "facade-only",
+      "lock-order", "audit-after-mutation", "rng-draw-discipline"};
   ASSERT_EQ(rules().size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(rules()[i].name, expected[i]);
@@ -807,14 +808,53 @@ TEST(LintIndex, ParseRejectsCorruptDocuments) {
   SemanticIndex out;
   EXPECT_FALSE(parse_index("", out));
   EXPECT_FALSE(parse_index("not-an-index\n", out));
-  EXPECT_FALSE(parse_index("wcds-lint-index/v1\nbogus-tag 1\n", out));
-  // A `file` record must be closed by `end`.
-  EXPECT_FALSE(parse_index("wcds-lint-index/v1\nfile src/a.h\nhash 1\n", out));
-  EXPECT_TRUE(parse_index(
+  EXPECT_FALSE(parse_index("wcds-lint-index/v2\nbogus-tag 1\n", out));
+  // v1 documents predate the function summaries and are rejected outright —
+  // a stale CI cache must re-lint, not mis-parse.
+  EXPECT_FALSE(parse_index(
       "wcds-lint-index/v1\nconfig 1\nfile src/a.h\nhash 1\nmodule -\nend\n",
+      out));
+  // A `file` record must be closed by `end`.
+  EXPECT_FALSE(parse_index("wcds-lint-index/v2\nfile src/a.h\nhash 1\n", out));
+  EXPECT_TRUE(parse_index(
+      "wcds-lint-index/v2\nconfig 1\nfile src/a.h\nhash 1\nmodule -\nend\n",
       out));
   ASSERT_EQ(out.files.size(), 1u);
   EXPECT_EQ(out.files[0].path, "src/a.h");
+}
+
+TEST(LintIndex, ParseRejectsCorruptFunctionRecords) {
+  SemanticIndex out;
+  // A `func` record must close with `fend` before `end` or the next `file`.
+  EXPECT_FALSE(parse_index(
+      "wcds-lint-index/v2\nfile src/a.h\nfunc 1 2 - f\nend\n", out));
+  // Node ids must be dense and in order.
+  EXPECT_FALSE(parse_index(
+      "wcds-lint-index/v2\nfile src/a.h\nfunc 1 2 - f\n"
+      "fnode 1 entry 1 0 - -\nfend\nend\n",
+      out));
+  // Successor and event node ids must stay in range.
+  EXPECT_FALSE(parse_index(
+      "wcds-lint-index/v2\nfile src/a.h\nfunc 1 2 - f\n"
+      "fnode 0 entry 1 0 5 -\nfend\nend\n",
+      out));
+  EXPECT_FALSE(parse_index(
+      "wcds-lint-index/v2\nfile src/a.h\nfunc 1 2 - f\n"
+      "fev 0 1 call 0 g - -\nfend\nend\n",
+      out));
+  // A well-formed single-node function parses.
+  EXPECT_TRUE(parse_index(
+      "wcds-lint-index/v2\nfile src/a.h\nhash 1\nmodule -\n"
+      "func 1 3 Q push\nfreq mu_\n"
+      "fnode 0 entry 1 0 - -\nfev 0 2 call 0 g - -\nfend\nend\n",
+      out));
+  ASSERT_EQ(out.files[0].functions.size(), 1u);
+  EXPECT_EQ(out.files[0].functions[0].scope, "Q");
+  EXPECT_EQ(out.files[0].functions[0].requires_locks,
+            std::vector<std::string>{"mu_"});
+  ASSERT_EQ(out.files[0].functions[0].nodes.size(), 1u);
+  ASSERT_EQ(out.files[0].functions[0].nodes[0].events.size(), 1u);
+  EXPECT_EQ(out.files[0].functions[0].nodes[0].events[0].name, "g");
 }
 
 TEST(LintIndex, CacheSkipsUnchangedFilesAndAgreesWithFreshRun) {
@@ -867,6 +907,584 @@ TEST(LintIndex, CacheSkipsUnchangedFilesAndAgreesWithFreshRun) {
   invalidated.add_file("src/sim/a.cpp", source);
   (void)invalidated.run();
   EXPECT_EQ(invalidated.cache_hits(), 0u);
+}
+
+TEST(LintIndex, CachedFunctionSummariesDrivePhaseThreeRules) {
+  // The control-flow rules must fire identically whether the function
+  // summaries were just extracted or came back from a warm index.
+  Config config;
+  const std::string source =
+      "int pick(Rng& rng_, bool flip) {\n"
+      "  if (flip) return rng_.next_below(7);\n"
+      "  return 0;\n"
+      "}\n";
+  Linter cold(config);
+  cold.add_file("src/fault/f.cpp", source);
+  const auto fresh = cold.run();
+  ASSERT_TRUE(has(fresh, "rng-draw-discipline", 2));
+
+  SemanticIndex cache;
+  ASSERT_TRUE(parse_index(serialize_index(cold.index()), cache));
+  Linter warm(config);
+  warm.set_cached_index(std::move(cache));
+  warm.add_file("src/fault/f.cpp", source);
+  EXPECT_EQ(warm.run(), fresh);
+  EXPECT_EQ(warm.cache_hits(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// CFG extraction (tools/lint/cfg.h)
+
+const CfgNode* event_node(const FunctionSummary& fn, const std::string& name) {
+  for (const CfgNode& node : fn.nodes) {
+    for (const CfgEvent& event : node.events) {
+      if (event.name == name) return &node;
+    }
+  }
+  return nullptr;
+}
+
+const CfgEvent* find_event(const FunctionSummary& fn,
+                           const std::string& name) {
+  for (const CfgNode& node : fn.nodes) {
+    for (const CfgEvent& event : node.events) {
+      if (event.name == name) return &event;
+    }
+  }
+  return nullptr;
+}
+
+TEST(LintCfg, ExtractsFunctionWithBranchAndEvents) {
+  const SourceFile file = annotate_source("src/sim/a.cpp",
+                                          "void f(int x) {\n"
+                                          "  setup(x);\n"
+                                          "  if (x > 0) {\n"
+                                          "    teardown();\n"
+                                          "  }\n"
+                                          "}\n");
+  const std::vector<FunctionSummary> fns = extract_functions(file);
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].name, "f");
+  EXPECT_EQ(fns[0].line, 1);
+  EXPECT_EQ(fns[0].end_line, 6);
+  ASSERT_GE(fns[0].nodes.size(), 4u);
+  EXPECT_EQ(fns[0].nodes[0].kind, "entry");
+  EXPECT_EQ(fns[0].nodes[1].kind, "exit");
+  EXPECT_EQ(fns[0].nodes[2].kind, "throw");
+  const CfgEvent* setup = find_event(fns[0], "setup");
+  ASSERT_NE(setup, nullptr);
+  EXPECT_EQ(setup->line, 2);
+  EXPECT_EQ(setup->kind, "call");
+  const CfgEvent* teardown = find_event(fns[0], "teardown");
+  ASSERT_NE(teardown, nullptr);
+  EXPECT_EQ(teardown->line, 4);
+}
+
+TEST(LintCfg, NestedBracesStayInOneFunction) {
+  const SourceFile file = annotate_source("src/sim/a.cpp",
+                                          "void f() {\n"
+                                          "  { { a(); } }\n"
+                                          "  b();\n"
+                                          "}\n"
+                                          "void g() { c(); }\n");
+  const std::vector<FunctionSummary> fns = extract_functions(file);
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0].name, "f");
+  EXPECT_NE(find_event(fns[0], "a"), nullptr);
+  EXPECT_NE(find_event(fns[0], "b"), nullptr);
+  EXPECT_EQ(find_event(fns[0], "c"), nullptr);
+  EXPECT_EQ(fns[1].name, "g");
+  EXPECT_NE(find_event(fns[1], "c"), nullptr);
+}
+
+TEST(LintCfg, LambdaBodyInlinesIntoEnclosingFunction) {
+  const SourceFile file = annotate_source(
+      "src/sim/a.cpp",
+      "void f(std::vector<int>& xs) {\n"
+      "  std::sort(xs.begin(), xs.end(), [](int a, int b) {\n"
+      "    return key(a) < key(b);\n"
+      "  });\n"
+      "  done();\n"
+      "}\n");
+  const std::vector<FunctionSummary> fns = extract_functions(file);
+  ASSERT_EQ(fns.size(), 1u);  // the lambda is not a separate function
+  EXPECT_NE(find_event(fns[0], "key"), nullptr);
+  EXPECT_NE(find_event(fns[0], "done"), nullptr);
+}
+
+TEST(LintCfg, SwitchCasesFallThrough) {
+  const SourceFile file = annotate_source("src/sim/a.cpp",
+                                          "void f(int x) {\n"
+                                          "  switch (x) {\n"
+                                          "    case 0:\n"
+                                          "      first();\n"
+                                          "    case 1:\n"
+                                          "      second();\n"
+                                          "      break;\n"
+                                          "    default:\n"
+                                          "      third();\n"
+                                          "  }\n"
+                                          "}\n");
+  const std::vector<FunctionSummary> fns = extract_functions(file);
+  ASSERT_EQ(fns.size(), 1u);
+  const FunctionSummary& fn = fns[0];
+  const CfgNode* head = nullptr;
+  for (const CfgNode& node : fn.nodes) {
+    if (node.kind == "switch") head = &node;
+  }
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(head->succs.size(), 3u);  // one per case; default absorbs skip
+  const CfgNode* case0 = event_node(fn, "first");
+  const CfgNode* case1 = event_node(fn, "second");
+  ASSERT_NE(case0, nullptr);
+  ASSERT_NE(case1, nullptr);
+  // `case 0` has no break: it falls through into `case 1`.
+  EXPECT_NE(std::find(case0->succs.begin(), case0->succs.end(), case1->id),
+            case0->succs.end());
+}
+
+TEST(LintCfg, CodeAfterReturnIsUnreachable) {
+  const SourceFile file = annotate_source("src/sim/a.cpp",
+                                          "int f() {\n"
+                                          "  return live();\n"
+                                          "  dead();\n"
+                                          "}\n");
+  const std::vector<FunctionSummary> fns = extract_functions(file);
+  ASSERT_EQ(fns.size(), 1u);
+  const CfgNode* live = event_node(fns[0], "live");
+  ASSERT_NE(live, nullptr);
+  EXPECT_EQ(live->succs, std::vector<int>{1});  // return edges to exit
+  const CfgNode* dead = event_node(fns[0], "dead");
+  ASSERT_NE(dead, nullptr);
+  for (const CfgNode& node : fns[0].nodes) {
+    EXPECT_EQ(std::find(node.succs.begin(), node.succs.end(), dead->id),
+              node.succs.end());
+  }
+}
+
+TEST(LintCfg, LoopNodeHasBodyAndSkipSuccessors) {
+  const SourceFile file = annotate_source("src/sim/a.cpp",
+                                          "void f(int n) {\n"
+                                          "  for (int i = 0; i < n; ++i) {\n"
+                                          "    work(i);\n"
+                                          "  }\n"
+                                          "  after_loop();\n"
+                                          "}\n");
+  const std::vector<FunctionSummary> fns = extract_functions(file);
+  ASSERT_EQ(fns.size(), 1u);
+  const FunctionSummary& fn = fns[0];
+  const CfgNode* head = nullptr;
+  for (const CfgNode& node : fn.nodes) {
+    if (node.kind == "loop") head = &node;
+  }
+  ASSERT_NE(head, nullptr);
+  ASSERT_EQ(head->succs.size(), 2u);  // [body, after]
+  EXPECT_EQ(fn.nodes[head->succs[0]].loop_depth, head->loop_depth + 1);
+  EXPECT_EQ(fn.nodes[head->succs[1]].loop_depth, head->loop_depth);
+  const CfgNode* body = event_node(fn, "work");
+  ASSERT_NE(body, nullptr);
+  EXPECT_EQ(body->loop_depth, 1);
+  // The body rejoins after the loop (no back edge: the CFG is a DAG).
+  EXPECT_EQ(body->succs, std::vector<int>{head->succs[1]});
+  const CfgNode* after = event_node(fn, "after_loop");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->loop_depth, 0);
+}
+
+TEST(LintCfg, ScopedLockTrackedInHeldSets) {
+  const SourceFile file = annotate_source(
+      "src/parallel/q.cpp",
+      "void Queue::push(int v) {\n"
+      "  const base::MutexLock lock(mu_);\n"
+      "  items_.push_back(v);\n"
+      "  notify();\n"
+      "}\n");
+  const std::vector<FunctionSummary> fns = extract_functions(file);
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].scope, "Queue");
+  EXPECT_EQ(fns[0].name, "push");
+  const CfgEvent* acquire = find_event(fns[0], "MutexLock");
+  ASSERT_NE(acquire, nullptr);
+  EXPECT_EQ(acquire->arg0, "mu_");
+  // The acquisition event sits on the pre-acquisition node...
+  EXPECT_TRUE(event_node(fns[0], "MutexLock")->held.empty());
+  // ...and everything after it runs with the lock held.
+  const CfgNode* after = event_node(fns[0], "notify");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->held, std::vector<std::string>{"mu_"});
+  const CfgEvent* push = find_event(fns[0], "push_back");
+  ASSERT_NE(push, nullptr);
+  EXPECT_EQ(push->recv, "items_");
+}
+
+TEST(LintCfg, LockAnnotationsCaptured) {
+  const SourceFile file = annotate_source("src/parallel/q.cpp",
+                                          "void drain() WCDS_REQUIRES(mu_) {\n"
+                                          "  flush();\n"
+                                          "}\n"
+                                          "void grab() WCDS_ACQUIRE(mu_) {\n"
+                                          "  flush();\n"
+                                          "}\n");
+  const std::vector<FunctionSummary> fns = extract_functions(file);
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0].requires_locks, std::vector<std::string>{"mu_"});
+  EXPECT_TRUE(fns[0].acquires_locks.empty());
+  EXPECT_EQ(fns[1].acquires_locks, std::vector<std::string>{"mu_"});
+  EXPECT_TRUE(fns[1].requires_locks.empty());
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+
+TEST(LintRules, LockOrderCycleFires) {
+  const auto diags = lint_one("src/parallel/a.cpp",
+                              "void first() {\n"
+                              "  const base::MutexLock a(mu_a);\n"
+                              "  const base::MutexLock b(mu_b);\n"
+                              "  work();\n"
+                              "}\n"
+                              "void second() {\n"
+                              "  const base::MutexLock b(mu_b);\n"
+                              "  const base::MutexLock a(mu_a);\n"
+                              "  work();\n"
+                              "}\n");
+  // Reported once, at the edge leaving the cycle's smallest lock.
+  EXPECT_TRUE(has(diags, "lock-order", 3));
+  EXPECT_EQ(std::count_if(diags.begin(), diags.end(),
+                          [](const Diagnostic& d) {
+                            return d.rule == "lock-order";
+                          }),
+            1);
+}
+
+TEST(LintRules, LockOrderTransitiveThroughCalls) {
+  const auto diags = lint_one("src/parallel/a.cpp",
+                              "void helper() {\n"
+                              "  const base::MutexLock b(mu_b);\n"
+                              "  work();\n"
+                              "}\n"
+                              "void outer() {\n"
+                              "  const base::MutexLock a(mu_a);\n"
+                              "  helper();\n"
+                              "}\n"
+                              "void inverted() {\n"
+                              "  const base::MutexLock b(mu_b);\n"
+                              "  const base::MutexLock a(mu_a);\n"
+                              "}\n");
+  // outer holds mu_a and acquires mu_b through helper(); inverted closes it.
+  EXPECT_TRUE(has(diags, "lock-order", 7));
+}
+
+TEST(LintRules, LockOrderAnnotatedRequiresCountsAsHeld) {
+  const auto diags = lint_one("src/parallel/a.cpp",
+                              "void fwd() WCDS_REQUIRES(mu_a) {\n"
+                              "  const base::MutexLock b(mu_b);\n"
+                              "}\n"
+                              "void rev() WCDS_REQUIRES(mu_b) {\n"
+                              "  const base::MutexLock a(mu_a);\n"
+                              "}\n");
+  EXPECT_TRUE(has(diags, "lock-order", 2));
+}
+
+TEST(LintRules, LockOrderConsistentOrderClean) {
+  const auto diags = lint_one("src/parallel/a.cpp",
+                              "void first() {\n"
+                              "  const base::MutexLock a(mu_a);\n"
+                              "  const base::MutexLock b(mu_b);\n"
+                              "}\n"
+                              "void second() {\n"
+                              "  const base::MutexLock a(mu_a);\n"
+                              "  const base::MutexLock b(mu_b);\n"
+                              "}\n"
+                              "void third() {\n"
+                              "  const base::MutexLock b(mu_b);\n"
+                              "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRules, LockOrderScopeEndsReleaseTheLock) {
+  // The first lock is released before the second is taken: no edge, even
+  // in the same function.
+  const auto diags = lint_one("src/parallel/a.cpp",
+                              "void first() {\n"
+                              "  { const base::MutexLock a(mu_a); }\n"
+                              "  { const base::MutexLock b(mu_b); }\n"
+                              "}\n"
+                              "void second() {\n"
+                              "  { const base::MutexLock b(mu_b); }\n"
+                              "  { const base::MutexLock a(mu_a); }\n"
+                              "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRules, LockOrderSuppressedAndLexerImmune) {
+  EXPECT_TRUE(lint_one("src/parallel/a.cpp",
+                       "// const base::MutexLock a(mu_a);\n"
+                       "// const base::MutexLock b(mu_b);\n"
+                       "void first() {}\n")
+                  .empty());
+  const auto diags =
+      lint_one("src/parallel/a.cpp",
+               "void first() {\n"
+               "  const base::MutexLock a(mu_a);\n"
+               "  // wcds-lint: allow(lock-order)\n"
+               "  const base::MutexLock b(mu_b);\n"
+               "}\n"
+               "void second() {\n"
+               "  const base::MutexLock b(mu_b);\n"
+               "  const base::MutexLock a(mu_a);\n"
+               "}\n");
+  // The cycle's report line (the smallest lock's edge) is suppressed; the
+  // reverse edge is not re-reported, so the file is clean.
+  EXPECT_FALSE(has(diags, "lock-order", 4));
+}
+
+// ---------------------------------------------------------------------------
+// audit-after-mutation
+
+Config maintenance_config() {
+  Config config;
+  config.module_prefixes = {{"src/maintenance/", "maintenance"},
+                            {"src/wcds/", "wcds"}};
+  return config;
+}
+
+TEST(LintRules, AuditAfterMutationFires) {
+  const auto diags = lint_one("src/maintenance/m.cpp",
+                              "void Thing::apply_event(int u) {\n"
+                              "  mis_.clear();\n"
+                              "  count_ += 1;\n"
+                              "}\n",
+                              maintenance_config());
+  EXPECT_TRUE(has(diags, "audit-after-mutation", 2));
+}
+
+TEST(LintRules, AuditAfterMutationAssignAndBranchFire) {
+  // The mutation itself is before the branch; the early return is the
+  // unaudited path.
+  const auto diags = lint_one("src/maintenance/m.cpp",
+                              "void Thing::apply_event(bool fast) {\n"
+                              "  graph_ = rebuild(points_);\n"
+                              "  if (fast) return;\n"
+                              "  check::audit_invariants(graph_);\n"
+                              "}\n",
+                              maintenance_config());
+  EXPECT_TRUE(has(diags, "audit-after-mutation", 2));
+}
+
+TEST(LintRules, AuditAfterMutationAuditedPathsClean) {
+  const auto diags = lint_one(
+      "src/maintenance/m.cpp",
+      "void Thing::apply_event(int u) {\n"
+      "  mis_.clear();\n"
+      "  check::audit_invariants(graph_, mis_);\n"
+      "}\n"
+      "void Thing::gated_event(int u) {\n"
+      "  bridges_.erase(u);\n"
+      "  if (check::audits_enabled()) check::audit_invariants(graph_);\n"
+      "}\n"
+      "void Thing::wrapped_event(int u) {\n"
+      "  points_.push_back(u);\n"
+      "  maybe_audit(\"wrapped\");\n"
+      "}\n",
+      maintenance_config());
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRules, AuditAfterMutationThrowPathExempt) {
+  const auto diags = lint_one("src/maintenance/m.cpp",
+                              "void Thing::apply_event(int u) {\n"
+                              "  mis_.clear();\n"
+                              "  throw std::runtime_error(\"bad\");\n"
+                              "}\n",
+                              maintenance_config());
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRules, AuditAfterMutationHelperBubblesToRootCallSite) {
+  const auto diags = lint_one("src/maintenance/m.cpp",
+                              "void Thing::repair(int u) {\n"
+                              "  mis_.erase(u);\n"
+                              "}\n"
+                              "void Thing::handle(int u) {\n"
+                              "  repair(u);\n"
+                              "  check::audit_invariants(graph_);\n"
+                              "}\n"
+                              "void Thing::mishandle(int u) {\n"
+                              "  repair(u);\n"
+                              "}\n",
+                              maintenance_config());
+  // repair() has in-scope callers, so the obligation surfaces at the call
+  // sites: handle() audits and is clean, mishandle() does not.
+  EXPECT_FALSE(has(diags, "audit-after-mutation", 2));
+  EXPECT_FALSE(has(diags, "audit-after-mutation", 5));
+  EXPECT_TRUE(has(diags, "audit-after-mutation", 9));
+}
+
+TEST(LintRules, AuditAfterMutationOutOfScopeAndSuppressed) {
+  // Same code outside the audited modules is clean.
+  EXPECT_TRUE(lint_one("src/sim/m.cpp",
+                       "void Thing::apply_event(int u) {\n"
+                       "  mis_.clear();\n"
+                       "}\n",
+                       maintenance_config())
+                  .empty());
+  const auto diags =
+      lint_one("src/maintenance/m.cpp",
+               "void Thing::apply_event(int u) {\n"
+               "  mis_.clear();  // wcds-lint: allow(audit-after-mutation)\n"
+               "}\n",
+               maintenance_config());
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// rng-draw-discipline
+
+TEST(LintRules, RngConditionalDrawFires) {
+  const auto diags = lint_one("src/fault/f.cpp",
+                              "int pick(Rng& rng_, bool flip) {\n"
+                              "  if (flip) return rng_.next_below(7);\n"
+                              "  return 0;\n"
+                              "}\n");
+  EXPECT_TRUE(has(diags, "rng-draw-discipline", 2));
+}
+
+TEST(LintRules, RngShortCircuitDrawInLoopFires) {
+  // The && right-hand side is skippable, so the loop body's draw count
+  // depends on the data — the src/service/engine.cpp transmit() shape.
+  const auto diags = lint_one(
+      "src/service/s.cpp",
+      "bool send(Rng& rng, double p) {\n"
+      "  for (int attempt = 0; attempt < 3; ++attempt) {\n"
+      "    if (p > 0.0 && rng.next_double() < p) return false;\n"
+      "  }\n"
+      "  return true;\n"
+      "}\n");
+  EXPECT_TRUE(has(diags, "rng-draw-discipline", 3));
+}
+
+TEST(LintRules, RngDisciplinedDrawsClean) {
+  const auto diags = lint_one(
+      "src/fault/f.cpp",
+      // Unconditional draw, branch on the result: the drop_copy() shape.
+      "int roll(Rng& rng_, bool hard) {\n"
+      "  const int value = rng_.next_below(6);\n"
+      "  if (hard) return value * 2;\n"
+      "  return value;\n"
+      "}\n"
+      // Both paths draw exactly once.
+      "int pick(Rng& rng_, bool flip) {\n"
+      "  if (flip) return rng_.next_below(7);\n"
+      "  return rng_.next_below(9);\n"
+      "}\n"
+      // A per-iteration draw is the loop's business, not the function's:
+      // every iteration draws exactly once.
+      "int sum(Rng& rng_, int n) {\n"
+      "  int s = 0;\n"
+      "  for (int i = 0; i < n; ++i) {\n"
+      "    s += rng_.next_below(10);\n"
+      "  }\n"
+      "  return s;\n"
+      "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintRules, RngOutOfScopeAndSuppressed) {
+  // Streams outside the declared scopes are not checked.
+  EXPECT_TRUE(lint_one("src/sim/f.cpp",
+                       "int pick(Rng& rng_, bool flip) {\n"
+                       "  if (flip) return rng_.next_below(7);\n"
+                       "  return 0;\n"
+                       "}\n")
+                  .empty());
+  const auto diags =
+      lint_one("src/fault/f.cpp",
+               "int pick(Rng& rng_, bool flip) {\n"
+               "  // wcds-lint: allow(rng-draw-discipline)\n"
+               "  if (flip) return rng_.next_below(7);\n"
+               "  return 0;\n"
+               "}\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// hot-path-alloc (flow-aware upgrade)
+
+Config hot_loop_config() {
+  Config config;
+  config.module_prefixes = {{"src/sim/", "sim"},
+                            {"src/parallel/", "parallel"}};
+  return config;
+}
+
+TEST(LintRules, HotLoopAllocFires) {
+  const auto diags = lint_one("src/sim/pump.cpp",
+                              "void pump(std::vector<int>& xs) {\n"
+                              "  for (int x : xs) {\n"
+                              "    auto p = std::make_unique<int>(x);\n"
+                              "    use(*p);\n"
+                              "  }\n"
+                              "}\n",
+                              hot_loop_config());
+  EXPECT_TRUE(has(diags, "hot-path-alloc", 3));
+  const auto nested = lint_one("src/parallel/w.cpp",
+                               "void spin(int n) {\n"
+                               "  while (n-- > 0) {\n"
+                               "    handle(new Job(n));\n"
+                               "  }\n"
+                               "}\n",
+                               hot_loop_config());
+  EXPECT_TRUE(has(nested, "hot-path-alloc", 3));
+}
+
+TEST(LintRules, HotLoopAllocOutsideLoopAndModuleClean) {
+  // An allocation before the loop is the fix, not a finding.
+  EXPECT_TRUE(lint_one("src/sim/pump.cpp",
+                       "void pump(std::vector<int>& xs) {\n"
+                       "  auto p = std::make_unique<int>(0);\n"
+                       "  for (int x : xs) use(*p, x);\n"
+                       "}\n",
+                       hot_loop_config())
+                  .empty());
+  // Outside the hot modules, loops may allocate.
+  EXPECT_TRUE(lint_one("src/io/loader.cpp",
+                       "void load(std::vector<int>& xs) {\n"
+                       "  for (int x : xs) keep(std::make_unique<int>(x));\n"
+                       "}\n",
+                       hot_loop_config())
+                  .empty());
+}
+
+TEST(LintRules, HotLoopAllocSuppressed) {
+  const auto diags = lint_one(
+      "src/sim/pump.cpp",
+      "void pump(std::vector<int>& xs) {\n"
+      "  for (int x : xs) {\n"
+      "    use(new int(x));  // wcds-lint: allow(hot-path-alloc)\n"
+      "  }\n"
+      "}\n",
+      hot_loop_config());
+  EXPECT_TRUE(diags.empty());
+}
+
+// ---------------------------------------------------------------------------
+// SARIF output
+
+TEST(LintEngine, SarifFormat) {
+  const std::vector<Diagnostic> diags = {
+      {"src/a.h", 3, "pragma-once", "say \"hi\""}};
+  const std::string doc = format_sarif(diags);
+  EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ruleId\": \"pragma-once\""), std::string::npos);
+  EXPECT_NE(doc.find("\"startLine\": 3"), std::string::npos);
+  EXPECT_NE(doc.find("\"uri\": \"src/a.h\""), std::string::npos);
+  // Message text is JSON-escaped.
+  EXPECT_NE(doc.find("say \\\"hi\\\""), std::string::npos);
+  // Every rule is described in the driver block, and an empty run is still
+  // a well-formed document.
+  EXPECT_NE(doc.find("\"id\": \"lock-order\""), std::string::npos);
+  EXPECT_NE(format_sarif({}).find("\"results\": ["), std::string::npos);
 }
 
 }  // namespace

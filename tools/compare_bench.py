@@ -18,9 +18,18 @@ multiples of themselves on shared CI runners).  Metrics present in only one
 report are reported but never fail the gate — adding or retiring a bench
 config must not require lockstep baseline edits.
 
+``--refresh-baselines`` flips the tool from gate to maintenance mode: each
+fresh report is copied over its baseline path verbatim (the full report, not
+just the timing metrics, so future comparisons see exactly what a rerun
+would produce).  A fresh report with no timing metrics is refused — that
+would disarm the gate silently.  Use it after an accepted perf change to
+re-pin the committed baselines in one command instead of hand-copying
+report files.
+
 Usage:
   compare_bench.py --pair baseline.json fresh.json [--pair ...]
                    [--tolerance 0.25] [--min-abs-ms 1.0]
+                   [--refresh-baselines]
   compare_bench.py --selftest
 """
 
@@ -28,7 +37,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import shutil
 import sys
+import tempfile
 from typing import Dict, List, Tuple
 
 TIMING_GAUGE_PREFIXES = (
@@ -108,6 +120,26 @@ def run_pair(
         return 1
     print(f"OK {label}: {compared} metric(s) within "
           f"+{tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+def refresh_baseline(baseline_path: str, fresh_path: str) -> int:
+    """Copies the fresh report over the baseline after validating it parses.
+
+    The fresh report must be valid JSON with at least one timing metric —
+    overwriting a baseline with an empty or truncated report would disarm
+    the gate silently.
+    """
+    with open(fresh_path, encoding="utf-8") as fh:
+        fresh_report = json.load(fh)
+    fresh = timing_metrics(fresh_report)
+    if not fresh:
+        print(f"refusing to refresh {baseline_path}: "
+              f"no timing metrics in {fresh_path}")
+        return 1
+    shutil.copyfile(fresh_path, baseline_path)
+    print(f"refreshed {baseline_path} from {fresh_path} "
+          f"({len(fresh)} timing metric(s))")
     return 0
 
 
@@ -195,10 +227,32 @@ def selftest() -> int:
     check("disjoint metric sets only produce notes", not regressions
           and len(notes) == 3)
 
+    # --refresh-baselines copies the fresh report verbatim and refuses
+    # reports the gate could not act on.
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "baseline.json")
+        fresh_path = os.path.join(tmp, "fresh.json")
+        with open(base_path, "w", encoding="utf-8") as fh:
+            json.dump(base, fh)
+        with open(fresh_path, "w", encoding="utf-8") as fh:
+            json.dump(fresh_with(20.0, 40.0), fh)
+        check("refresh succeeds", refresh_baseline(base_path, fresh_path) == 0)
+        with open(base_path, encoding="utf-8") as fh:
+            check("refresh copies the fresh report verbatim",
+                  json.load(fh) == fresh_with(20.0, 40.0))
+        empty_path = os.path.join(tmp, "empty.json")
+        with open(empty_path, "w", encoding="utf-8") as fh:
+            json.dump({"metrics": {}}, fh)
+        check("refresh refuses a metric-free report",
+              refresh_baseline(base_path, empty_path) == 1)
+        with open(base_path, encoding="utf-8") as fh:
+            check("refused refresh leaves the baseline untouched",
+                  json.load(fh) == fresh_with(20.0, 40.0))
+
     for failure in failures:
         print(f"selftest FAILED: {failure}")
     if not failures:
-        print("selftest OK: 8 cases")
+        print("selftest OK: 12 cases")
     return 1 if failures else 0
 
 
@@ -218,6 +272,9 @@ def main(argv: List[str]) -> int:
                         help="ignore slowdowns smaller than this many ms")
     parser.add_argument("--selftest", action="store_true",
                         help="run the built-in unit tests and exit")
+    parser.add_argument("--refresh-baselines", action="store_true",
+                        help="copy each fresh report over its baseline "
+                             "instead of comparing (maintenance mode)")
     args = parser.parse_args(argv)
 
     if args.selftest:
@@ -226,8 +283,11 @@ def main(argv: List[str]) -> int:
         parser.error("provide at least one --pair (or --selftest)")
     status = 0
     for baseline_path, fresh_path in args.pair:
-        status |= run_pair(baseline_path, fresh_path, args.tolerance,
-                           args.min_abs_ms)
+        if args.refresh_baselines:
+            status |= refresh_baseline(baseline_path, fresh_path)
+        else:
+            status |= run_pair(baseline_path, fresh_path, args.tolerance,
+                               args.min_abs_ms)
     return status
 
 

@@ -1,0 +1,775 @@
+#include "lint/cfg.h"
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace wcds::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// The pure channel flattened into one string ('\n'-joined) with a line-start
+// table, preprocessor lines (and their backslash continuations) blanked so
+// macro definitions cannot masquerade as function definitions.
+struct Text {
+  std::string s;
+  std::vector<std::size_t> line_starts;
+
+  explicit Text(const std::vector<std::string>& lines) {
+    bool continuation = false;
+    for (const std::string& line : lines) {
+      line_starts.push_back(s.size());
+      std::size_t first = line.find_first_not_of(" \t");
+      const bool directive =
+          continuation ||
+          (first != std::string::npos && line[first] == '#');
+      if (directive) {
+        s.append(line.size(), ' ');
+        continuation = !line.empty() && line.back() == '\\';
+      } else {
+        s += line;
+        continuation = false;
+      }
+      s += '\n';
+    }
+  }
+
+  // 1-based line containing byte offset `pos`.
+  [[nodiscard]] int line_of(std::size_t pos) const {
+    std::size_t lo = 0, hi = line_starts.size();
+    while (lo + 1 < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (line_starts[mid] <= pos) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<int>(lo) + 1;
+  }
+};
+
+std::size_t skip_ws(const std::string& s, std::size_t pos) {
+  while (pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+// Position of the last non-whitespace char strictly before `pos` (npos when
+// none).
+std::size_t prev_nonspace(const std::string& s, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(s[pos]))) return pos;
+  }
+  return std::string::npos;
+}
+
+// `pos` sits on one of ( [ {; returns the position just past the matching
+// closer (or the string end when unbalanced).
+std::size_t skip_balanced(const std::string& s, std::size_t pos) {
+  const char open = s[pos];
+  const char close = open == '(' ? ')' : open == '[' ? ']' : '}';
+  int depth = 0;
+  for (; pos < s.size(); ++pos) {
+    if (s[pos] == open) {
+      ++depth;
+    } else if (s[pos] == close) {
+      if (--depth == 0) return pos + 1;
+    }
+  }
+  return s.size();
+}
+
+std::string read_ident(const std::string& s, std::size_t pos,
+                       std::size_t* end = nullptr) {
+  std::size_t j = pos;
+  while (j < s.size() && ident_char(s[j])) ++j;
+  if (end != nullptr) *end = j;
+  return s.substr(pos, j - pos);
+}
+
+// The identifier ending at `end` (exclusive); returns "" when the char just
+// before `end` is not an identifier char.  `*start` receives its begin.
+std::string read_ident_back(const std::string& s, std::size_t end,
+                            std::size_t* start = nullptr) {
+  std::size_t i = end;
+  while (i > 0 && ident_char(s[i - 1])) --i;
+  if (start != nullptr) *start = i;
+  return i < end ? s.substr(i, end - i) : std::string();
+}
+
+bool is_control_keyword(const std::string& t) {
+  return t == "if" || t == "for" || t == "while" || t == "switch" ||
+         t == "catch" || t == "return" || t == "sizeof" || t == "new" ||
+         t == "delete" || t == "throw" || t == "else" || t == "do" ||
+         t == "alignof" || t == "decltype" || t == "static_assert" ||
+         t == "assert" || t == "defined";
+}
+
+// Reads the ::/./-> chain starting at `pos` and returns its last identifier
+// ("" when `pos` does not start an identifier).  `bridges_.erase` -> "erase",
+// `check::audit_invariants` -> "audit_invariants", `plan_.seed` -> "seed".
+std::string chain_tail(const std::string& s, std::size_t pos,
+                       std::size_t* end = nullptr) {
+  std::string tail;
+  while (pos < s.size() && ident_start(s[pos])) {
+    std::size_t j;
+    tail = read_ident(s, pos, &j);
+    pos = j;
+    if (pos + 1 < s.size() && s[pos] == ':' && s[pos + 1] == ':') {
+      pos += 2;
+    } else if (pos < s.size() && s[pos] == '.') {
+      pos += 1;
+    } else if (pos + 1 < s.size() && s[pos] == '-' && s[pos + 1] == '>') {
+      pos += 2;
+    } else {
+      break;
+    }
+  }
+  if (end != nullptr) *end = pos;
+  return tail;
+}
+
+// Comma-separated annotation arguments as chain tails: "(mu_, other_)".
+std::vector<std::string> annotation_args(const std::string& s,
+                                         std::size_t open_paren) {
+  std::vector<std::string> args;
+  const std::size_t end = skip_balanced(s, open_paren);
+  std::size_t pos = open_paren + 1;
+  while (pos + 1 < end) {
+    pos = skip_ws(s, pos);
+    if (ident_start(s[pos])) {
+      std::size_t after;
+      const std::string tail = chain_tail(s, pos, &after);
+      if (!tail.empty()) args.push_back(tail);
+      pos = after;
+    }
+    const std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos || comma >= end - 1) break;
+    pos = comma + 1;
+  }
+  return args;
+}
+
+// ---------------------------------------------------------------------------
+// Body parsing
+
+class Builder {
+ public:
+  Builder(const Text& text, FunctionSummary& fn) : t_(text), fn_(fn) {}
+
+  // `pos` sits on the body's opening '{'.  Returns the position just past
+  // the closing '}'.
+  std::size_t parse_body(std::size_t pos) {
+    new_node("entry", t_.line_of(pos));                 // 0
+    new_node("exit", t_.line_of(pos));                  // 1
+    new_node("throw", t_.line_of(pos));                 // 2
+    cur_ = new_node("stmt", t_.line_of(pos));
+    edge(0, cur_);
+    const std::size_t after = parse_block(pos + 1);
+    edge(cur_, 1);  // falling off the end returns
+    fn_.end_line = t_.line_of(after > 0 ? after - 1 : 0);
+    return after;
+  }
+
+ private:
+  int new_node(const char* kind, int line) {
+    CfgNode node;
+    node.id = static_cast<int>(fn_.nodes.size());
+    node.kind = kind;
+    node.line = line;
+    node.loop_depth = loop_depth_;
+    node.held = held_;
+    fn_.nodes.push_back(std::move(node));
+    return fn_.nodes.back().id;
+  }
+
+  void edge(int from, int to) { fn_.nodes[from].succs.push_back(to); }
+
+  // Ends the current path: later statements land in a fresh node with no
+  // incoming edge, so they exist in the graph but lie on no enumerable path.
+  void terminate(std::size_t pos) {
+    cur_ = new_node("stmt", t_.line_of(pos));
+  }
+
+  // `pos` is just past a '{'; parses until the matching '}'.
+  std::size_t parse_block(std::size_t pos) {
+    const std::size_t held_mark = held_.size();
+    const std::string& s = t_.s;
+    while (pos < s.size()) {
+      pos = skip_ws(s, pos);
+      if (pos >= s.size()) break;
+      if (s[pos] == '}') {
+        ++pos;
+        break;
+      }
+      pos = parse_statement(pos);
+    }
+    if (held_.size() != held_mark) {
+      // Scoped locks acquired in this block release here.
+      held_.resize(held_mark);
+      const int next = new_node("stmt", t_.line_of(pos));
+      edge(cur_, next);
+      cur_ = next;
+    }
+    return pos;
+  }
+
+  std::size_t parse_statement(std::size_t pos) {
+    const std::string& s = t_.s;
+    if (s[pos] == '{') return parse_block(pos + 1);
+    if (s[pos] == ';') return pos + 1;
+    if (ident_start(s[pos])) {
+      std::size_t after;
+      const std::string tok = read_ident(s, pos, &after);
+      if (tok == "if") return parse_if(after);
+      if (tok == "for" || tok == "while") return parse_loop(after);
+      if (tok == "do") return parse_do(after);
+      if (tok == "switch") return parse_switch(after);
+      if (tok == "return") {
+        const std::size_t semi = statement_end(after);
+        scan_events(cur_, after, semi);
+        edge(cur_, 1);
+        terminate(pos);
+        return semi + 1;
+      }
+      if (tok == "throw") {
+        const std::size_t semi = statement_end(after);
+        scan_events(cur_, after, semi);
+        edge(cur_, 2);
+        terminate(pos);
+        return semi + 1;
+      }
+      if (tok == "break" || tok == "continue") {
+        const std::vector<int>& targets =
+            tok == "break" ? break_targets_ : continue_targets_;
+        if (!targets.empty()) {
+          edge(cur_, targets.back());
+          terminate(pos);
+        }
+        const std::size_t semi = statement_end(after);
+        return semi + 1;
+      }
+      if (tok == "case" || tok == "default") {
+        // Only meaningful inside parse_switch; skip the label defensively.
+        const std::size_t colon = label_colon(after);
+        return colon == std::string::npos ? s.size() : colon + 1;
+      }
+      if (tok == "try") {
+        // try { A } catch (...) { B }: model as A then (maybe) B — the
+        // handler path joins back rather than forking, which is enough for
+        // "can reach return" questions.
+        pos = skip_ws(s, after);
+        if (pos < s.size() && s[pos] == '{') {
+          pos = parse_block(pos + 1);
+          while (true) {
+            const std::size_t next = skip_ws(s, pos);
+            std::size_t kw_end;
+            if (read_ident(s, next, &kw_end) != "catch") break;
+            std::size_t p = skip_ws(s, kw_end);
+            if (p < s.size() && s[p] == '(') p = skip_balanced(s, p);
+            p = skip_ws(s, p);
+            if (p < s.size() && s[p] == '{') {
+              pos = parse_block(p + 1);
+            } else {
+              pos = p;
+              break;
+            }
+          }
+          return pos;
+        }
+        return parse_simple(pos);
+      }
+    }
+    return parse_simple(pos);
+  }
+
+  std::size_t parse_if(std::size_t pos) {
+    const std::string& s = t_.s;
+    pos = skip_ws(s, pos);
+    if (pos >= s.size() || s[pos] != '(') return parse_simple(pos);
+    const std::size_t cond_end = skip_balanced(s, pos);
+    const int branch = new_node("branch", t_.line_of(pos));
+    edge(cur_, branch);
+    cur_ = branch;
+    scan_events(branch, pos + 1, cond_end - 1);
+
+    const int then_node = new_node("stmt", t_.line_of(cond_end));
+    edge(branch, then_node);
+    cur_ = then_node;
+    std::size_t after = parse_statement(skip_ws(s, cond_end));
+    const int then_end = cur_;
+
+    const std::size_t maybe_else = skip_ws(s, after);
+    std::size_t kw_end;
+    if (read_ident(s, maybe_else, &kw_end) == "else") {
+      const int else_node = new_node("stmt", t_.line_of(maybe_else));
+      edge(branch, else_node);
+      cur_ = else_node;
+      after = parse_statement(skip_ws(s, kw_end));
+      const int join = new_node("stmt", t_.line_of(after));
+      edge(then_end, join);
+      edge(cur_, join);
+      cur_ = join;
+    } else {
+      const int join = new_node("stmt", t_.line_of(after));
+      edge(then_end, join);
+      edge(branch, join);
+      cur_ = join;
+    }
+    return after;
+  }
+
+  std::size_t parse_loop(std::size_t pos) {
+    const std::string& s = t_.s;
+    pos = skip_ws(s, pos);
+    if (pos >= s.size() || s[pos] != '(') return parse_simple(pos);
+    const std::size_t cond_end = skip_balanced(s, pos);
+    const int head = new_node("loop", t_.line_of(pos));
+    edge(cur_, head);
+    scan_events(head, pos + 1, cond_end - 1);
+
+    ++loop_depth_;
+    const int body = new_node("stmt", t_.line_of(cond_end));
+    --loop_depth_;
+    const int after = new_node("stmt", t_.line_of(cond_end));
+    edge(head, body);   // succs[0]: the body entry
+    edge(head, after);  // succs[1]: the zero-iteration skip
+    break_targets_.push_back(after);
+    continue_targets_.push_back(after);
+    ++loop_depth_;
+    cur_ = body;
+    const std::size_t end = parse_statement(skip_ws(s, cond_end));
+    --loop_depth_;
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+    edge(cur_, after);
+    cur_ = after;
+    return end;
+  }
+
+  std::size_t parse_do(std::size_t pos) {
+    const std::string& s = t_.s;
+    // do { body } while (cond);  The body runs at least once; the condition
+    // is recorded on the body's last node.  No loop head node is created, so
+    // region-based rules treat do-while bodies as straight-line code.
+    const int body = new_node("stmt", t_.line_of(pos));
+    edge(cur_, body);
+    const int after = new_node("stmt", t_.line_of(pos));
+    break_targets_.push_back(after);
+    continue_targets_.push_back(after);
+    ++loop_depth_;
+    cur_ = body;
+    std::size_t end = parse_statement(skip_ws(s, pos));
+    --loop_depth_;
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+    end = skip_ws(s, end);
+    std::size_t kw_end;
+    if (read_ident(s, end, &kw_end) == "while") {
+      std::size_t p = skip_ws(s, kw_end);
+      if (p < s.size() && s[p] == '(') {
+        const std::size_t cend = skip_balanced(s, p);
+        scan_events(cur_, p + 1, cend - 1);
+        p = cend;
+      }
+      p = skip_ws(s, p);
+      if (p < s.size() && s[p] == ';') ++p;
+      end = p;
+    }
+    edge(cur_, after);
+    cur_ = after;
+    return end;
+  }
+
+  std::size_t parse_switch(std::size_t pos) {
+    const std::string& s = t_.s;
+    pos = skip_ws(s, pos);
+    if (pos >= s.size() || s[pos] != '(') return parse_simple(pos);
+    const std::size_t cond_end = skip_balanced(s, pos);
+    const int head = new_node("switch", t_.line_of(pos));
+    edge(cur_, head);
+    scan_events(head, pos + 1, cond_end - 1);
+
+    std::size_t body = skip_ws(s, cond_end);
+    if (body >= s.size() || s[body] != '{') {
+      cur_ = head;
+      return parse_simple(body);
+    }
+    const int after = new_node("stmt", t_.line_of(body));
+    break_targets_.push_back(after);
+    bool saw_default = false;
+    bool open_case = false;
+    pos = body + 1;
+    while (pos < s.size()) {
+      pos = skip_ws(s, pos);
+      if (pos >= s.size() || s[pos] == '}') {
+        if (pos < s.size()) ++pos;
+        break;
+      }
+      std::size_t kw_end;
+      const std::string tok =
+          ident_start(s[pos]) ? read_ident(s, pos, &kw_end) : std::string();
+      if (tok == "case" || tok == "default") {
+        saw_default |= tok == "default";
+        const std::size_t colon = label_colon(kw_end);
+        const int node = new_node("stmt", t_.line_of(pos));
+        edge(head, node);
+        if (open_case) edge(cur_, node);  // fallthrough (inert after break)
+        cur_ = node;
+        open_case = true;
+        pos = colon == std::string::npos ? s.size() : colon + 1;
+        continue;
+      }
+      pos = parse_statement(pos);
+    }
+    break_targets_.pop_back();
+    if (open_case) edge(cur_, after);  // last case falls out of the switch
+    if (!saw_default) edge(head, after);
+    cur_ = after;
+    return pos;
+  }
+
+  // A statement consumed up to its terminating ';' (balanced groups —
+  // including lambda bodies — are skipped, so their ';' do not terminate).
+  std::size_t parse_simple(std::size_t pos) {
+    const std::size_t semi = statement_end(pos);
+    const std::vector<std::string> acquired =
+        scan_events(cur_, pos, semi);
+    for (const std::string& lock : acquired) {
+      held_.push_back(lock);
+      const int next = new_node("stmt", t_.line_of(semi));
+      edge(cur_, next);
+      cur_ = next;
+    }
+    return semi < t_.s.size() ? semi + 1 : semi;
+  }
+
+  // The ':' ending a case/default label starting after `pos` ("::" scope
+  // separators inside the case value are stepped over).
+  std::size_t label_colon(std::size_t pos) const {
+    const std::string& s = t_.s;
+    while (pos < s.size()) {
+      if (s[pos] == ':') {
+        if (pos + 1 < s.size() && s[pos + 1] == ':') {
+          pos += 2;
+          continue;
+        }
+        return pos;
+      }
+      if (s[pos] == ';' || s[pos] == '}') return std::string::npos;
+      ++pos;
+    }
+    return std::string::npos;
+  }
+
+  // Offset of the ';' ending the statement starting at `pos`.
+  std::size_t statement_end(std::size_t pos) const {
+    const std::string& s = t_.s;
+    while (pos < s.size()) {
+      const char c = s[pos];
+      if (c == ';') return pos;
+      if (c == '(' || c == '[' || c == '{') {
+        pos = skip_balanced(s, pos);
+      } else {
+        ++pos;
+      }
+    }
+    return pos;
+  }
+
+  // Scans [begin, end) for events, attributing them to node `node`.
+  // Returns the mutexes acquired by scoped-lock declarations in the range.
+  std::vector<std::string> scan_events(int node, std::size_t begin,
+                                       std::size_t end) {
+    const std::string& s = t_.s;
+    std::vector<std::string> acquired;
+    bool shortcircuit = false;
+    int depth = 0;
+    std::size_t i = begin;
+    while (i < end) {
+      const char c = s[i];
+      if (c == '(' || c == '[' || c == '{') {
+        ++depth;
+        ++i;
+        continue;
+      }
+      if (c == ')' || c == ']' || c == '}') {
+        --depth;
+        ++i;
+        continue;
+      }
+      if (depth == 0 && (c == '?' || ((c == '&' || c == '|') &&
+                                      i + 1 < end && s[i + 1] == c))) {
+        // Everything right of a top-level && / || / ?: may be skipped by
+        // short-circuit evaluation even though this node executes.
+        shortcircuit = true;
+        i += c == '?' ? 1 : 2;
+        continue;
+      }
+      if (!ident_start(c)) {
+        ++i;
+        continue;
+      }
+      std::size_t after;
+      const std::string tok = read_ident(s, i, &after);
+      const int line = t_.line_of(i);
+      if (tok == "new") {
+        add_event(node, {line, "alloc", "new", "", "", shortcircuit});
+        i = after;
+        continue;
+      }
+      if (tok == "make_shared" || tok == "make_unique") {
+        add_event(node, {line, "alloc", tok, "", "", shortcircuit});
+        i = after;
+        continue;
+      }
+      // Scoped lock declaration: MutexLock <name>(<mutex>).
+      if (tok == "MutexLock") {
+        std::size_t p = skip_ws(s, after);
+        if (p < end && ident_start(s[p])) {
+          std::size_t var_end;
+          read_ident(s, p, &var_end);
+          p = skip_ws(s, var_end);
+          if (p < end && s[p] == '(') {
+            const std::string arg = first_arg(p);
+            add_event(node,
+                      {line, "call", "MutexLock", "", arg, shortcircuit});
+            if (!arg.empty()) acquired.push_back(arg);
+            i = var_end;
+            continue;
+          }
+        }
+      }
+      std::size_t p = after;
+      // Subscripts between a target and its assignment: mis_[u] = true.
+      while (p < end && (s[p] == '[' || s[p] == ' ')) {
+        p = s[p] == '[' ? skip_balanced(s, p) : p + 1;
+      }
+      if (p < end && s[p] == '(' && !is_control_keyword(tok) &&
+          tok.rfind("WCDS_", 0) != 0) {
+        add_event(node, {line, "call", tok, receiver_before(i),
+                         first_arg(p), shortcircuit});
+        i = after;
+        continue;
+      }
+      const bool plain_assign =
+          p < end && s[p] == '=' && (p + 1 >= end || s[p + 1] != '=');
+      const bool compound_assign =
+          p + 1 < end && s[p + 1] == '=' &&
+          (s[p] == '+' || s[p] == '-' || s[p] == '*' || s[p] == '/' ||
+           s[p] == '%' || s[p] == '&' || s[p] == '|' || s[p] == '^');
+      if ((plain_assign || compound_assign) && !tok.empty() &&
+          tok.back() == '_') {
+        add_event(node, {line, "assign", tok, "", "", shortcircuit});
+      }
+      i = after;
+    }
+    return acquired;
+  }
+
+  void add_event(int node, CfgEvent event) {
+    fn_.nodes[node].events.push_back(std::move(event));
+  }
+
+  // The receiver one hop before an identifier at `pos`: "rng_" for
+  // `rng_.next_double`, "" for free or `::`-qualified calls.
+  std::string receiver_before(std::size_t pos) const {
+    const std::string& s = t_.s;
+    const std::size_t sep = prev_nonspace(s, pos);
+    if (sep == std::string::npos) return "";
+    std::size_t recv_end;
+    if (s[sep] == '.') {
+      recv_end = sep;
+    } else if (s[sep] == '>' && sep > 0 && s[sep - 1] == '-') {
+      recv_end = sep - 1;
+    } else {
+      return "";
+    }
+    const std::size_t r = prev_nonspace(s, recv_end);
+    if (r == std::string::npos) return "";
+    if (s[r] == ']') {
+      // points_[u].foo(): take the array's own name.
+      std::size_t q = r;
+      int depth = 0;
+      while (q != std::string::npos) {
+        if (s[q] == ']') ++depth;
+        if (s[q] == '[' && --depth == 0) break;
+        if (q == 0) return "";
+        --q;
+      }
+      return read_ident_back(s, q);
+    }
+    if (!ident_char(s[r])) return "";
+    return read_ident_back(s, r + 1);
+  }
+
+  // Chain tail of the first argument inside the paren group at `open`.
+  std::string first_arg(std::size_t open) const {
+    const std::string& s = t_.s;
+    const std::size_t pos = skip_ws(s, open + 1);
+    if (pos >= s.size() || !ident_start(s[pos])) return "";
+    return chain_tail(s, pos);
+  }
+
+  const Text& t_;
+  FunctionSummary& fn_;
+  int cur_ = 0;
+  int loop_depth_ = 0;
+  std::vector<std::string> held_;
+  std::vector<int> break_targets_;
+  std::vector<int> continue_targets_;
+};
+
+// ---------------------------------------------------------------------------
+// Function-head matching
+
+// `open` sits on a '(' that may start a function definition's parameter
+// list.  On success fills `fn` (except the body) and returns the offset of
+// the body's '{'; returns npos otherwise.
+std::size_t match_function_head(const Text& text, std::size_t open,
+                                FunctionSummary& fn) {
+  const std::string& s = text.s;
+  const std::size_t name_sep = prev_nonspace(s, open);
+  if (name_sep == std::string::npos || !ident_char(s[name_sep])) {
+    return std::string::npos;
+  }
+  std::size_t name_begin;
+  std::string name = read_ident_back(s, name_sep + 1, &name_begin);
+  if (name.empty() || is_control_keyword(name) || name == "noexcept") {
+    return std::string::npos;
+  }
+  std::size_t before = prev_nonspace(s, name_begin);
+  if (before != std::string::npos && s[before] == '~') {
+    name.insert(name.begin(), '~');
+    before = prev_nonspace(s, before);
+  }
+  std::string scope;
+  if (before != std::string::npos && before > 0 && s[before] == ':' &&
+      s[before - 1] == ':') {
+    scope = read_ident_back(s, before - 1);
+  }
+  // `.` / `->` before the name means a member call, not a definition.
+  if (before != std::string::npos &&
+      (s[before] == '.' ||
+       (s[before] == '>' && before > 0 && s[before - 1] == '-'))) {
+    return std::string::npos;
+  }
+
+  std::size_t pos = skip_balanced(s, open);
+  std::vector<std::string> requires_locks;
+  std::vector<std::string> acquires_locks;
+  bool in_init_list = false;
+  char last_significant = ')';
+  while (pos < s.size()) {
+    pos = skip_ws(s, pos);
+    if (pos >= s.size()) return std::string::npos;
+    const char c = s[pos];
+    if (c == '{') {
+      if (!in_init_list || last_significant == ')' ||
+          last_significant == '}') {
+        fn.line = text.line_of(name_begin);
+        fn.name = std::move(name);
+        fn.scope = std::move(scope);
+        fn.requires_locks = std::move(requires_locks);
+        fn.acquires_locks = std::move(acquires_locks);
+        return pos;
+      }
+      pos = skip_balanced(s, pos);  // brace initializer inside the init list
+      last_significant = '}';
+      continue;
+    }
+    if (c == ';' || c == '=' || c == ',' || c == ')' || c == '#') {
+      if (in_init_list && c == ',') {
+        last_significant = ',';
+        ++pos;
+        continue;
+      }
+      return std::string::npos;
+    }
+    if (c == ':') {
+      if (pos + 1 < s.size() && s[pos + 1] == ':') return std::string::npos;
+      in_init_list = true;
+      last_significant = ':';
+      ++pos;
+      continue;
+    }
+    if (c == '(' || c == '[') {
+      pos = skip_balanced(s, pos);
+      last_significant = c == '(' ? ')' : ']';
+      continue;
+    }
+    if (c == '-' && pos + 1 < s.size() && s[pos + 1] == '>') {
+      pos += 2;  // trailing return type: consume tokens until '{' or ';'
+      last_significant = '>';
+      continue;
+    }
+    if (c == '&' || c == '*' || c == '<' || c == '>') {
+      last_significant = c;
+      ++pos;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t after;
+      const std::string tok = read_ident(s, pos, &after);
+      if (tok.rfind("WCDS_", 0) == 0) {
+        const std::size_t paren = skip_ws(s, after);
+        if (paren < s.size() && s[paren] == '(') {
+          std::vector<std::string> args = annotation_args(s, paren);
+          if (tok == "WCDS_REQUIRES" || tok == "WCDS_REQUIRES_SHARED") {
+            for (std::string& a : args) requires_locks.push_back(std::move(a));
+          } else if (tok == "WCDS_ACQUIRE" || tok == "WCDS_ACQUIRE_SHARED") {
+            for (std::string& a : args) acquires_locks.push_back(std::move(a));
+          }
+          pos = skip_balanced(s, paren);
+          last_significant = ')';
+          continue;
+        }
+      }
+      pos = after;
+      last_significant = 'a';
+      continue;
+    }
+    return std::string::npos;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+std::vector<FunctionSummary> extract_functions(const SourceFile& file) {
+  const Text text(file.pure);
+  const std::string& s = text.s;
+  std::vector<FunctionSummary> functions;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] != '(') {
+      ++i;
+      continue;
+    }
+    FunctionSummary fn;
+    const std::size_t body = match_function_head(text, i, fn);
+    if (body == std::string::npos) {
+      ++i;
+      continue;
+    }
+    Builder builder(text, fn);
+    i = builder.parse_body(body);
+    functions.push_back(std::move(fn));
+  }
+  return functions;
+}
+
+}  // namespace wcds::lint

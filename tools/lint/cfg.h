@@ -1,0 +1,88 @@
+// Function extraction and per-function control-flow graphs for wcds_lint
+// (phase 3 of the analyzer; see tools/lint/lint.h for the rule catalog).
+//
+// extract_functions() scans the `pure` channel of an annotated source file
+// for function definitions (brace-matched bodies, constructor init lists and
+// trailing annotations skipped) and parses each body into a statement-level
+// CFG.  The graph is intentionally *acyclic*: a loop contributes a `loop`
+// head node with two successors — the body entry first, the skip/after node
+// second — and the body's exit edges rejoin after the loop instead of back
+// at the head.  Path-sensitive rules therefore enumerate "body taken once"
+// vs "body skipped", which is exactly the granularity the phase-3 rules
+// need; per-iteration multiplicity is tracked via CfgNode::loop_depth.
+//
+// Events are the facts rules consume, attributed to the node (basic block)
+// they execute in:
+//   call    `name(...)` / `recv.name(...)`; MutexLock-style scoped-lock
+//           declarations are recorded as a call named "MutexLock" whose
+//           arg0 is the locked mutex, and the declaring node's successors
+//           carry the lock in CfgNode::held until the enclosing block ends.
+//   assign  writes through `=` or a compound assignment to an identifier
+//           ending in '_' (the project's member naming convention) —
+//           subscripted targets (`mis_[u] = ...`) record the array's name.
+//   alloc   bare `new`, std::make_shared, std::make_unique.
+//
+// Lambdas are treated as inline blocks of the enclosing function: their
+// statements contribute events to the node containing the lambda expression
+// (conservative — a deferred lambda is modeled as if it ran at its
+// definition site, which over-approximates execution for the rules' "can
+// this happen on this path" questions).
+//
+// An event inside a condition that sits to the right of a `&&` / `||` at
+// the condition's top level is marked `maybe`: short-circuit evaluation can
+// skip it even though its node executes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wcds::lint {
+
+struct SourceFile;  // tools/lint/lint.h
+
+struct CfgEvent {
+  int line = 0;      // 1-based
+  std::string kind;  // "call" | "assign" | "alloc"
+  std::string name;  // callee / assignment target tail / alloc pattern
+  std::string recv;  // receiver identifier ("" for free or qualified calls)
+  std::string arg0;  // first argument's chain tail ("" when absent)
+  bool maybe = false;  // short-circuited: right of && or || in a condition
+
+  friend bool operator==(const CfgEvent&, const CfgEvent&) = default;
+};
+
+// kind: "entry" | "exit" | "throw" | "stmt" | "branch" | "loop" | "switch".
+// Nodes 0/1/2 of every function are entry, exit, and the throw sink; a
+// `return` edges to node 1, a `throw` to node 2.  For a "loop" node,
+// succs[0] is the body entry and succs[1] the after/skip node.
+struct CfgNode {
+  int id = 0;
+  std::string kind;
+  int line = 0;
+  int loop_depth = 0;            // number of enclosing loop bodies
+  std::vector<int> succs;
+  std::vector<CfgEvent> events;
+  std::vector<std::string> held;  // scoped locks held while this node runs
+
+  friend bool operator==(const CfgNode&, const CfgNode&) = default;
+};
+
+struct FunctionSummary {
+  int line = 0;      // line holding the function name
+  int end_line = 0;  // line of the body's closing brace
+  std::string name;  // unqualified name ("move_node", "~ThreadPool", ...)
+  std::string scope;  // written qualifier ("DynamicWcds"), "" when none
+  std::vector<std::string> requires_locks;  // WCDS_REQUIRES(...) arguments
+  std::vector<std::string> acquires_locks;  // WCDS_ACQUIRE(...) arguments
+  std::vector<CfgNode> nodes;
+
+  friend bool operator==(const FunctionSummary&, const FunctionSummary&) =
+      default;
+};
+
+// Extracts every function definition in `file` (pure channel), in source
+// order.  Never fails: unparseable constructs are skipped conservatively.
+[[nodiscard]] std::vector<FunctionSummary> extract_functions(
+    const SourceFile& file);
+
+}  // namespace wcds::lint

@@ -6,7 +6,7 @@
 namespace wcds::lint {
 namespace {
 
-constexpr std::string_view kMagic = "wcds-lint-index/v1";
+constexpr std::string_view kMagic = "wcds-lint-index/v2";
 
 // Fields are space-separated; the only field that may contain spaces is a
 // diagnostic message, which is therefore always the record's last field.
@@ -49,6 +49,51 @@ bool take_hex64(std::string_view& rest, std::uint64_t& out) {
 std::string_view remainder(std::string_view rest) {
   while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
   return rest;
+}
+
+// Comma-joined list field ("-" when empty).
+std::string enc_list(const std::vector<std::string>& items) {
+  if (items.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ',';
+    out += items[i];
+  }
+  return out;
+}
+
+std::string enc_ints(const std::vector<int>& items) {
+  if (items.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(items[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> dec_list(const std::string& field) {
+  std::vector<std::string> items;
+  if (field == "-") return items;
+  std::string_view view = field;
+  while (!view.empty()) {
+    const std::size_t comma = view.find(',');
+    items.emplace_back(view.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    view.remove_prefix(comma + 1);
+  }
+  return items;
+}
+
+bool dec_ints(const std::string& field, std::vector<int>& out) {
+  for (const std::string& item : dec_list(field)) {
+    try {
+      out.push_back(std::stoi(item));
+    } catch (...) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -101,6 +146,27 @@ std::string serialize_index(const SemanticIndex& index) {
       }
       out << "\n";
     }
+    for (const FunctionSummary& fn : file.functions) {
+      out << "func " << fn.line << " " << fn.end_line << " "
+          << enc(fn.scope) << " " << enc(fn.name) << "\n";
+      for (const std::string& lock : fn.requires_locks) {
+        out << "freq " << lock << "\n";
+      }
+      for (const std::string& lock : fn.acquires_locks) {
+        out << "facq " << lock << "\n";
+      }
+      for (const CfgNode& node : fn.nodes) {
+        out << "fnode " << node.id << " " << node.kind << " " << node.line
+            << " " << node.loop_depth << " " << enc_ints(node.succs) << " "
+            << enc_list(node.held) << "\n";
+        for (const CfgEvent& event : node.events) {
+          out << "fev " << node.id << " " << event.line << " " << event.kind
+              << " " << (event.maybe ? 1 : 0) << " " << enc(event.name)
+              << " " << enc(event.recv) << " " << enc(event.arg0) << "\n";
+        }
+      }
+      out << "fend\n";
+    }
     for (std::size_t i = 0; i < file.diag_lines.size(); ++i) {
       out << "diag " << file.diag_lines[i] << " " << file.diag_rules[i] << " "
           << file.diag_messages[i] << "\n";
@@ -117,6 +183,7 @@ bool parse_index(const std::string& text, SemanticIndex& out) {
   if (!std::getline(in, line) || line != kMagic) return false;
 
   FileIndex* file = nullptr;
+  FunctionSummary* func = nullptr;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
@@ -130,14 +197,78 @@ bool parse_index(const std::string& text, SemanticIndex& out) {
     }
     if (tag == "file") {
       std::string path;
-      if (!take(rest, path)) return false;
+      if (func != nullptr || !take(rest, path)) return false;
       out.files.emplace_back();
       file = &out.files.back();
       file->path = path;
       continue;
     }
     if (file == nullptr) return false;
+    if (tag == "func") {
+      FunctionSummary fn;
+      std::string scope, name;
+      if (func != nullptr || !take_int(rest, fn.line) ||
+          !take_int(rest, fn.end_line) || !take(rest, scope) ||
+          !take(rest, name)) {
+        return false;
+      }
+      fn.scope = dec(scope);
+      fn.name = dec(name);
+      file->functions.push_back(std::move(fn));
+      func = &file->functions.back();
+      continue;
+    }
+    if (tag == "freq" || tag == "facq" || tag == "fnode" || tag == "fev" ||
+        tag == "fend") {
+      if (func == nullptr) return false;
+      if (tag == "fend") {
+        // Successor ids may reference later nodes, so the forward-reference
+        // check has to wait until the function record closes.
+        for (const CfgNode& node : func->nodes) {
+          for (const int s : node.succs) {
+            if (s < 0 || s >= static_cast<int>(func->nodes.size())) {
+              return false;
+            }
+          }
+        }
+        func = nullptr;
+      } else if (tag == "freq" || tag == "facq") {
+        std::string lock;
+        if (!take(rest, lock)) return false;
+        (tag == "freq" ? func->requires_locks : func->acquires_locks)
+            .push_back(std::move(lock));
+      } else if (tag == "fnode") {
+        CfgNode node;
+        std::string succs, held;
+        if (!take_int(rest, node.id) || !take(rest, node.kind) ||
+            !take_int(rest, node.line) || !take_int(rest, node.loop_depth) ||
+            !take(rest, succs) || !take(rest, held) ||
+            node.id != static_cast<int>(func->nodes.size()) ||
+            !dec_ints(succs, node.succs)) {
+          return false;
+        }
+        node.held = dec_list(held);
+        func->nodes.push_back(std::move(node));
+      } else {  // fev
+        CfgEvent event;
+        int node_id = 0, maybe = 0;
+        std::string name, recv, arg0;
+        if (!take_int(rest, node_id) || !take_int(rest, event.line) ||
+            !take(rest, event.kind) || !take_int(rest, maybe) ||
+            !take(rest, name) || !take(rest, recv) || !take(rest, arg0) ||
+            node_id < 0 || node_id >= static_cast<int>(func->nodes.size())) {
+          return false;
+        }
+        event.maybe = maybe != 0;
+        event.name = dec(name);
+        event.recv = dec(recv);
+        event.arg0 = dec(arg0);
+        func->nodes[node_id].events.push_back(std::move(event));
+      }
+      continue;
+    }
     if (tag == "end") {
+      if (func != nullptr) return false;
       file = nullptr;
     } else if (tag == "hash") {
       if (!take_hex64(rest, file->content_hash)) return false;

@@ -16,16 +16,23 @@
 // layer-dag) and the cross-file registries, merges the stored local
 // diagnostics, and applies suppressions.
 //
-// The index serializes to a line-based text format (`wcds-lint-index/v1`).
-// The CLI writes it with --index-out (CI uploads it as an artifact) and
-// reads it back with --index-in: a file whose content hash and config
-// fingerprint match its cached entry skips phase 1 entirely, so an
+// Phase 3 (the control-flow rules) reads the per-function CFGs extracted by
+// tools/lint/cfg.h, which phase 1 stores alongside the declaration tables so
+// cached files skip function extraction too.
+//
+// The index serializes to a line-based text format (`wcds-lint-index/v2`;
+// v1 documents, which predate the function summaries, are rejected as
+// incompatible).  The CLI writes it with --index-out (CI caches it across
+// runs) and reads it back with --index-in: a file whose content hash and
+// config fingerprint match its cached entry skips phase 1 entirely, so an
 // incremental lint run re-lexes only what changed.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "lint/cfg.h"
 
 namespace wcds::lint {
 
@@ -115,6 +122,7 @@ struct FileIndex {
   std::vector<std::string> named_cases;  // enumerators with a trace name
   std::vector<MetricFact> metric_uses;
   std::vector<LineAllow> allows;
+  std::vector<FunctionSummary> functions;  // tools/lint/cfg.h, source order
 
   // Diagnostics from the file-local rules, pre-suppression (phase 2 filters
   // through `allows` so cached entries and fresh ones behave identically).
@@ -138,7 +146,7 @@ struct SemanticIndex {
 // FNV-1a 64-bit, the content hash used for index diffing.
 [[nodiscard]] std::uint64_t fnv1a64(const std::string& bytes);
 
-// Line-based text serialization (`wcds-lint-index/v1`); round-trips exactly.
+// Line-based text serialization (`wcds-lint-index/v2`); round-trips exactly.
 [[nodiscard]] std::string serialize_index(const SemanticIndex& index);
 
 // Parses `serialize_index` output.  Returns false (and leaves `out`

@@ -5,10 +5,12 @@
 // (standard library only), runs under ctest against the repo tree, and
 // reports file:line diagnostics that CI treats as errors.
 //
-// Since PR 6 the tool is a two-phase semantic analyzer rather than a line
+// Since PR 6 the tool is a multi-phase semantic analyzer rather than a line
 // lexer: phase 1 builds a repo-wide semantic index (tools/lint/index.h) —
-// include graph, module assignment, declaration table, usage events — and
-// phase 2 runs flow- and scope-aware rules over that index.
+// include graph, module assignment, declaration table, usage events, and
+// per-function control-flow graphs (tools/lint/cfg.h) — phase 2 runs flow-
+// and scope-aware rules over that index, and phase 3 runs path-sensitive
+// rules over the CFGs and the cross-TU call table they imply.
 //
 // Rules (ids are stable; see docs/CHECKING.md "Static analysis layers"):
 //
@@ -22,7 +24,11 @@
 //                          constants in src/check/audit.h.
 //   hot-path-alloc         std::map / std::function / std::shared_ptr /
 //                          bare `new` are forbidden in the allocation-free
-//                          simulator delivery files (docs/PERFORMANCE.md).
+//                          simulator delivery files (docs/PERFORMANCE.md);
+//                          flow-aware since phase 3: an allocation (bare
+//                          new, make_shared, make_unique) reachable inside
+//                          a loop in the hot modules (sim, parallel,
+//                          service) fires wherever it sits in the file.
 //   message-type-registry  every enumerator of an `enum *MessageType :
 //                          sim::MessageType` must have a trace-name entry
 //                          (`case kX: return "...";`) somewhere — the
@@ -59,6 +65,21 @@
 //                          implementing modules (wcds, protocols, facade)
 //                          and benchmark BM_ bodies must go through
 //                          core::build() / bench::build_with().
+//   lock-order             the cross-file lock-acquisition graph (scoped
+//                          base::MutexLock declarations, WCDS_REQUIRES /
+//                          WCDS_ACQUIRE annotations, and transitive
+//                          acquisitions through calls) must be acyclic; a
+//                          cycle is a potential deadlock.
+//   audit-after-mutation   in the audited modules (maintenance, wcds) every
+//                          CFG path that mutates backbone state must reach
+//                          a check::audit_invariants / maybe_audit call
+//                          before returning; private mutating helpers
+//                          bubble the obligation to their callers.
+//   rng-draw-discipline    in the seeded-stream scopes (fault::Injector,
+//                          service/) a branch sibling must not skip an RNG
+//                          draw the other path performs: the stream
+//                          position must be a pure function of the call
+//                          sequence, never of data-dependent branches.
 //
 // Suppression: a `// wcds-lint: allow(<rule>[,<rule>...])` comment silences
 // the named rules on its own line; a comment-only line silences them on the
@@ -90,6 +111,11 @@ struct Diagnostic {
 // "::error file=<file>,line=<line>::[<rule>] <message>" — GitHub Actions
 // error-annotation form, surfaced inline on the PR diff.
 [[nodiscard]] std::string format_diagnostic_github(const Diagnostic& diagnostic);
+
+// A complete SARIF 2.1.0 document for the diagnostics (one run, every rule
+// in the driver's rule table), consumable by GitHub code scanning.
+[[nodiscard]] std::string format_sarif(
+    const std::vector<Diagnostic>& diagnostics);
 
 struct RuleInfo {
   std::string name;
@@ -165,6 +191,41 @@ struct Config {
   // The DAG itself; default_config() declares the repo's layering.  Empty
   // disables layer-dag.
   std::vector<ModuleSpec> modules;
+
+  // --- phase-3 control-flow rule scopes ------------------------------------
+
+  // audit-after-mutation: modules whose functions carry the audit
+  // obligation.  A function with no caller inside these modules is a root;
+  // roots whose mutation can reach `return` without an audit are diagnosed
+  // (helpers bubble the obligation to their call sites).
+  std::set<std::string> audit_scope_modules = {"maintenance", "wcds"};
+  // Members treated as backbone state: assignment targets, or receivers of
+  // one of the mutating container methods below.
+  std::set<std::string> backbone_state = {"mis_", "bridges_", "active_",
+                                          "points_", "graph_"};
+  std::set<std::string> backbone_mutating_methods = {
+      "assign", "clear",     "erase",  "insert",
+      "emplace", "push_back", "resize", "swap"};
+  // Calls that mutate backbone state wholesale.
+  std::set<std::string> backbone_mutators = {"rebuild_graph"};
+  // Calls that discharge the audit obligation, and the gate whose presence
+  // in a branch condition counts as an audit point (the sanctioned
+  // `if (check::audits_enabled()) check::audit_invariants(...)` idiom).
+  std::set<std::string> audit_calls = {"audit_invariants", "maybe_audit"};
+  std::string audit_gate = "audits_enabled";
+
+  // rng-draw-discipline: path prefixes whose functions own seeded RNG
+  // streams, and the draw methods whose per-path counts must agree.
+  std::vector<std::string> rng_scope_prefixes = {"src/fault/",
+                                                 "src/service/"};
+  std::set<std::string> rng_draw_methods = {"next", "next_double",
+                                            "next_below"};
+
+  // Flow-aware hot-path-alloc: modules where an allocation event (bare
+  // new, make_shared, make_unique) inside a loop is a diagnostic.  The
+  // line-local hot_path_files ban above is unchanged — those files must be
+  // allocation-free everywhere, not just in loops.
+  std::set<std::string> hot_loop_modules = {"sim", "parallel", "service"};
 
   // Modules allowed to call the per-algorithm construction entrypoints
   // directly (facade-only): the algorithms' own module, the protocol

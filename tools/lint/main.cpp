@@ -1,8 +1,9 @@
 // wcds_lint CLI.
 //
-//   wcds_lint [--root <dir>] [--rules=<a,b,...>] [--profile=<repo|tests>]
-//             [--format=<plain|github>] [--index-in=<file>]
-//             [--index-out=<file>] [--list-rules] [paths...]
+//   wcds_lint [--root <dir>] [--rules=<a,b,...>]
+//             [--profile=<repo|tests|bench>] [--format=<plain|github|sarif>]
+//             [--index-in=<file>] [--index-out=<file>]
+//             [--print-config-fingerprint] [--list-rules] [paths...]
 //
 // Paths are repo-relative files or directories (default: src tools bench),
 // scanned recursively for C++ sources.
@@ -16,9 +17,19 @@
 // --profile=tests relaxes the style rules for test code (hot-path-alloc and
 // paper-constant off) but keeps the determinism and include rules on, with
 // tests/ treated as trace-affecting: a flaky iteration order in a test that
-// replays traces is a flaky test.
+// replays traces is a flaky test.  --profile=bench is the same idea for
+// benchmark code, except no-ambient-entropy stays off entirely — timing
+// reads are what benchmarks are for.
 //
-// --index-out serializes the semantic index (uploaded as a CI artifact);
+// --format=sarif writes a SARIF 2.1.0 document to stdout (CI uploads it to
+// code scanning) and moves the summary line to stderr so stdout stays pure
+// JSON.
+//
+// --print-config-fingerprint prints the effective phase-1 config fingerprint
+// and exits; CI keys the cross-run index cache on it so a config change
+// invalidates cached entries.
+//
+// --index-out serializes the semantic index (cached across CI runs);
 // --index-in seeds the next run so unchanged files skip phase 1.
 #include <algorithm>
 #include <filesystem>
@@ -61,9 +72,9 @@ bool read_file(const fs::path& path, std::string& out) {
 
 int usage(std::ostream& out, int status) {
   out << "usage: wcds_lint [--root <dir>] [--rules=<a,b,...>]"
-         " [--profile=<repo|tests>] [--format=<plain|github>]"
-         " [--index-in=<file>] [--index-out=<file>] [--list-rules]"
-         " [paths...]\n"
+         " [--profile=<repo|tests|bench>] [--format=<plain|github|sarif>]"
+         " [--index-in=<file>] [--index-out=<file>]"
+         " [--print-config-fingerprint] [--list-rules] [paths...]\n"
          "paths default to: src tools bench (relative to --root)\n"
          "exit: 0 clean, 1 violations, 2 usage error, 3 I/O/parse failure\n";
   return status;
@@ -80,6 +91,17 @@ void apply_tests_profile(wcds::lint::Config& config) {
   config.entropy_scope_prefixes.push_back("tests/");
 }
 
+// The bench profile: like tests, but no-ambient-entropy stays off — reading
+// the clock is the whole point of a benchmark — while bench/ still joins the
+// trace-affecting scope (a bench that iterates an unordered container feeds
+// nondeterministic work into the timed region).
+void apply_bench_profile(wcds::lint::Config& config) {
+  config.enabled_rules = {"pragma-once", "include-hygiene",
+                          "no-unordered-iteration", "no-pointer-order",
+                          "layer-dag"};
+  config.trace_affecting_prefixes.push_back("bench/");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +113,7 @@ int main(int argc, char** argv) {
   std::string format = "plain";
   std::string index_in_path;
   std::string index_out_path;
+  bool print_fingerprint = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -117,16 +140,18 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--profile=", 0) == 0) {
       profile = arg.substr(10);
-      if (profile != "repo" && profile != "tests") {
+      if (profile != "repo" && profile != "tests" && profile != "bench") {
         std::cerr << "wcds_lint: unknown profile " << profile << "\n";
         return usage(std::cerr, kExitUsage);
       }
     } else if (arg.rfind("--format=", 0) == 0) {
       format = arg.substr(9);
-      if (format != "plain" && format != "github") {
+      if (format != "plain" && format != "github" && format != "sarif") {
         std::cerr << "wcds_lint: unknown format " << format << "\n";
         return usage(std::cerr, kExitUsage);
       }
+    } else if (arg == "--print-config-fingerprint") {
+      print_fingerprint = true;
     } else if (arg.rfind("--index-in=", 0) == 0) {
       index_in_path = arg.substr(11);
     } else if (arg.rfind("--index-out=", 0) == 0) {
@@ -140,8 +165,17 @@ int main(int argc, char** argv) {
   }
   if (inputs.empty()) inputs = {"src", "tools", "bench"};
   if (profile == "tests") apply_tests_profile(config);
+  if (profile == "bench") apply_bench_profile(config);
   // Explicit --rules= narrows whatever the profile enabled.
   if (!selected_rules.empty()) config.enabled_rules = selected_rules;
+
+  if (print_fingerprint) {
+    // CI's index-cache key: the fingerprint of every Config field phase 1
+    // depends on, after profile/rule selection.
+    std::cout << std::hex << wcds::lint::config_fingerprint(config)
+              << std::dec << "\n";
+    return kExitClean;
+  }
 
   std::error_code ec;
   root = fs::canonical(root, ec);
@@ -200,11 +234,15 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<wcds::lint::Diagnostic> diagnostics = linter.run();
-  for (const wcds::lint::Diagnostic& diagnostic : diagnostics) {
-    std::cout << (format == "github"
-                      ? wcds::lint::format_diagnostic_github(diagnostic)
-                      : wcds::lint::format_diagnostic(diagnostic))
-              << "\n";
+  if (format == "sarif") {
+    std::cout << wcds::lint::format_sarif(diagnostics);
+  } else {
+    for (const wcds::lint::Diagnostic& diagnostic : diagnostics) {
+      std::cout << (format == "github"
+                        ? wcds::lint::format_diagnostic_github(diagnostic)
+                        : wcds::lint::format_diagnostic(diagnostic))
+                << "\n";
+    }
   }
 
   if (!index_out_path.empty()) {
@@ -216,13 +254,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Always-printed summary so CI logs show the scan's actual extent.
+  // Always-printed summary so CI logs show the scan's actual extent.  Under
+  // --format=sarif it moves to stderr: stdout is the JSON document.
   std::size_t rules_run = config.enabled_rules.empty()
                               ? wcds::lint::rules().size()
                               : config.enabled_rules.size();
-  std::cout << "wcds_lint: " << diagnostics.size() << " diagnostic"
-            << (diagnostics.size() == 1 ? "" : "s") << " in " << files.size()
-            << " files (" << rules_run << " rules, " << linter.cache_hits()
-            << " from cache)\n";
+  std::ostream& summary = format == "sarif" ? std::cerr : std::cout;
+  summary << "wcds_lint: " << diagnostics.size() << " diagnostic"
+          << (diagnostics.size() == 1 ? "" : "s") << " in " << files.size()
+          << " files (" << rules_run << " rules, " << linter.cache_hits()
+          << " from cache)\n";
   return diagnostics.empty() ? kExitClean : kExitViolations;
 }
