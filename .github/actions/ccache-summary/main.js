@@ -1,0 +1,11 @@
+// Zero the ccache statistics at job start so the post-step report covers
+// exactly this job's compiles (the restored cache carries its lifetime
+// totals otherwise).  Tolerate a missing binary: jobs that end up not
+// installing ccache should not fail here, they just get no summary.
+const { execFileSync } = require("child_process");
+
+try {
+  execFileSync("ccache", ["--zero-stats"], { stdio: "inherit" });
+} catch (err) {
+  console.log(`ccache-summary: skipping zero-stats (${err.message})`);
+}

@@ -1,0 +1,23 @@
+// Post step: append this job's ccache statistics (hit rate included) to the
+// job summary.  Runs after the build steps and before ccache-action's cache
+// save, so the numbers are final for this job.
+const { execFileSync } = require("child_process");
+const fs = require("fs");
+
+const title = process.env.INPUT_TITLE || "ccache";
+const summaryPath = process.env.GITHUB_STEP_SUMMARY;
+
+let stats;
+try {
+  stats = execFileSync("ccache", ["--show-stats"], { encoding: "utf8" });
+} catch (err) {
+  console.log(`ccache-summary: skipping report (${err.message})`);
+  process.exit(0);
+}
+
+const block = `### ccache (${title})\n\n\`\`\`\n${stats.trimEnd()}\n\`\`\`\n`;
+if (summaryPath) {
+  fs.appendFileSync(summaryPath, block);
+} else {
+  console.log(block);
+}

@@ -191,10 +191,14 @@ std::size_t domination_lower_bound(const graph::Graph& g) {
   return (g.node_count() + cover - 1) / cover;
 }
 
-std::size_t udg_mwcds_lower_bound(std::size_t mis_size) {
-  // Lemma 1: a dominator covers at most kLemma1MaxMisNeighbors MIS nodes, so
-  // any WCDS needs at least ceil(|MIS| / kLemma1MaxMisNeighbors) nodes.
-  return (mis_size + check::kLemma1MaxMisNeighbors - 1) /
+std::size_t udg_mwcds_lower_bound(std::size_t mis_size, std::size_t m) {
+  // Lemma 1: a dominator covers at most kLemma1MaxMisNeighbors MIS nodes
+  // (plus itself), so any WCDS needs at least
+  // ceil(|MIS| / kLemma1MaxMisNeighbors) nodes.  For an m-fold dominating
+  // set each MIS node must be covered m times and every (node, coverer)
+  // incidence still lands on a distinct closed-neighborhood slot of some
+  // dominator, so opt_m >= ceil(m * |MIS| / kLemma1MaxMisNeighbors).
+  return (m * mis_size + check::kLemma1MaxMisNeighbors - 1) /
          check::kLemma1MaxMisNeighbors;
 }
 

@@ -48,7 +48,12 @@ struct ExactResult {
 
 // UDG bound from Lemma 7's argument: every WCDS covers each MIS node with a
 // distinct closed neighborhood and each dominator covers at most 5 MIS nodes,
-// so opt >= ceil(|MIS| / 5).  Only valid when g is a unit-disk graph.
-[[nodiscard]] std::size_t udg_mwcds_lower_bound(std::size_t mis_size);
+// so opt >= ceil(|MIS| / 5).  The m-fold generalization counts coverage
+// incidences: an m-fold dominating set must cover each MIS node m times
+// while each dominator still supplies at most 5 of those incidences, so
+// opt_m >= ceil(m * |MIS| / 5) — the yardstick for the (k,m)-resilient
+// backbones of wcds/resilient.h.  Only valid when g is a unit-disk graph.
+[[nodiscard]] std::size_t udg_mwcds_lower_bound(std::size_t mis_size,
+                                                std::size_t m = 1);
 
 }  // namespace wcds::baselines

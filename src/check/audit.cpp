@@ -221,6 +221,129 @@ void audit_dilation(const graph::Graph& g, const core::WcdsResult& result,
 
 }  // namespace
 
+bool survives_crashes(const graph::Graph& g, const core::WcdsResult& result,
+                      std::span<const NodeId> crashed) {
+  const std::size_t n = g.node_count();
+  std::vector<bool> down(n, false);
+  for (NodeId v : crashed) {
+    if (v < n) down[v] = true;
+  }
+
+  const auto is_survivor_dominator = [&](NodeId u) {
+    return !down[u] && result.contains(u);
+  };
+
+  // Exempt crash-orphans (every neighbor down) and check residual
+  // domination in one pass.
+  std::vector<bool> orphan(n, false);
+  for (NodeId u = 0; u < n; ++u) {
+    if (down[u]) continue;
+    const auto row = g.neighbors(u);
+    const bool isolated =
+        std::all_of(row.begin(), row.end(), [&](NodeId v) { return down[v]; });
+    if (isolated) {
+      orphan[u] = true;
+      continue;
+    }
+    if (is_survivor_dominator(u)) continue;
+    const bool dominated = std::any_of(row.begin(), row.end(), [&](NodeId v) {
+      return is_survivor_dominator(v);
+    });
+    if (!dominated) return false;
+  }
+
+  // Component labels of g minus the crashed nodes.
+  std::vector<std::uint32_t> component(n, kInvalidNode);
+  std::uint32_t component_count = 0;
+  std::queue<NodeId> frontier;
+  for (NodeId s = 0; s < n; ++s) {
+    if (down[s] || component[s] != kInvalidNode) continue;
+    const std::uint32_t label = component_count++;
+    component[s] = label;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId v : g.neighbors(u)) {
+        if (down[v] || component[v] != kInvalidNode) continue;
+        component[v] = label;
+        frontier.push(v);
+      }
+    }
+  }
+
+  // One weakly-induced BFS per component, seeded at its first surviving
+  // dominator; every non-orphan survivor in a seeded component must be
+  // swept (the same single-seed argument as audit_wcds_property).
+  std::vector<NodeId> seed(component_count, kInvalidNode);
+  for (NodeId u : result.dominators) {
+    if (u >= n || down[u]) continue;
+    NodeId& s = seed[component[u]];
+    if (s == kInvalidNode) s = u;
+  }
+  std::vector<bool> visited(n, false);
+  for (NodeId s : seed) {
+    if (s == kInvalidNode) continue;
+    visited[s] = true;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId v : g.neighbors(u)) {
+        if (down[v] || visited[v]) continue;
+        if (!is_survivor_dominator(u) && !is_survivor_dominator(v)) continue;
+        visited[v] = true;
+        frontier.push(v);
+      }
+    }
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (down[u] || orphan[u]) continue;
+    if (seed[component[u]] == kInvalidNode) return false;  // no dominator left
+    if (!visited[u]) return false;
+  }
+  return true;
+}
+
+void audit_resilience(const graph::Graph& g, const core::WcdsResult& result,
+                      const AuditOptions& options) {
+  const core::ResilienceSpec& spec = options.resilience;
+  const std::size_t n = g.node_count();
+
+  if (spec.m > 1) {
+    for (NodeId u = 0; u < n; ++u) {
+      if (!node_active(options, u) || result.mask[u]) continue;
+      std::size_t cover = 0;
+      for (NodeId v : g.neighbors(u)) {
+        if (result.mask[v]) ++cover;
+      }
+      WCDS_CHECK_GE(cover, static_cast<std::size_t>(spec.m),
+                    "(k,m)-resilience (m-fold domination): node "
+                        << u << " has " << cover << " dominators, needs "
+                        << spec.m);
+    }
+  }
+
+  if (spec.k >= 2 && !result.dominators.empty()) {
+    std::size_t stride = 1;
+    if (options.resilience_survivor_sample != 0 &&
+        result.dominators.size() > options.resilience_survivor_sample) {
+      stride = (result.dominators.size() +
+                options.resilience_survivor_sample - 1) /
+               options.resilience_survivor_sample;
+    }
+    for (std::size_t i = 0; i < result.dominators.size(); i += stride) {
+      const NodeId v = result.dominators[i];
+      const NodeId single[] = {v};
+      WCDS_CHECK(survives_crashes(g, result, single),
+                 "(k,m)-resilience (survivability): removing backbone node "
+                     << v
+                     << " disconnects or un-dominates the surviving "
+                        "backbone");
+    }
+  }
+}
+
 void audit_invariants(const graph::Graph& g, const core::WcdsResult& result,
                       const AuditOptions& options) {
   const std::size_t n = g.node_count();
@@ -257,18 +380,26 @@ void audit_invariants(const graph::Graph& g, const core::WcdsResult& result,
                         << kLemma2ThreeHopBound
                         << " MIS nodes within three hops");
 
-      std::size_t active_count = n;
-      if (options.active != nullptr) {
-        active_count = static_cast<std::size_t>(std::count(
-            options.active->begin(), options.active->end(), true));
+      // Theorem 10 is proven for the plain Algorithm II backbone; the extra
+      // (k,m) dominator layers thicken the spanner past the 9/47 bound by
+      // design, so the edge-count check only applies to plain results.
+      if (!options.resilience.enabled()) {
+        std::size_t active_count = n;
+        if (options.active != nullptr) {
+          active_count = static_cast<std::size_t>(std::count(
+              options.active->begin(), options.active->end(), true));
+        }
+        const std::size_t gray = active_count - result.dominators.size();
+        WCDS_CHECK_LE(
+            spanner_edge_count(g, result),
+            kTheorem10GrayFactor * gray +
+                kTheorem10MisFactor * result.mis_dominators.size(),
+            "Theorem 10: spanner edge count exceeds 9*#gray + 47*|S|");
       }
-      const std::size_t gray = active_count - result.dominators.size();
-      WCDS_CHECK_LE(spanner_edge_count(g, result),
-                    kTheorem10GrayFactor * gray +
-                        kTheorem10MisFactor * result.mis_dominators.size(),
-                    "Theorem 10: spanner edge count exceeds 9*#gray + 47*|S|");
     }
   }
+
+  if (options.resilience.enabled()) audit_resilience(g, result, options);
 
   if (options.check_dilation) audit_dilation(g, result, options);
 }

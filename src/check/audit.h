@@ -23,10 +23,14 @@
 //   * Theorem 4 — under the (level, ID) ranking, exactly 2 (H_2 connected);
 //   * Theorem 10 — (unit-disk) spanner edge count <= 9*#gray + 47*|S|;
 //   * Theorem 11 — spanner hop distance <= 3*delta + 2 for non-adjacent
-//     pairs (sampled BFS sources; opt-in, it is the expensive one).
+//     pairs (sampled BFS sources; opt-in, it is the expensive one);
+//   * (k,m)-resilience — m-fold domination plus single-crash survivability
+//     of the weakly induced subgraph (opt-in via AuditOptions::resilience;
+//     see audit_resilience below).
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -64,6 +68,19 @@ struct AuditOptions {
   // nodes must be isolated in `g` and outside the dominator set; they are
   // exempt from domination/coloring requirements.
   const std::vector<bool>* active = nullptr;
+
+  // The result was built as a (k,m)-resilient backbone (wcds/resilient.h):
+  // additionally enforce m-fold domination and, for k >= 2, single-crash
+  // survivability.  An enabled spec also *disables* the Theorem 10 edge
+  // bound — the theorem is proven for the plain Algorithm II backbone, and
+  // the extra dominator layers legitimately thicken the spanner (the A9
+  // experiment reports the measured sparseness instead).
+  core::ResilienceSpec resilience;
+
+  // Survivability audit sampling: check every ceil(|U| / sample)-th
+  // backbone node's removal when nonzero, all of them when 0.  Each probe
+  // costs two BFS sweeps, so large maintained backbones sample.
+  std::size_t resilience_survivor_sample = 0;
 };
 
 // Runs every applicable invariant; failures raise through the check layer
@@ -72,5 +89,24 @@ struct AuditOptions {
 // explicit verification request.
 void audit_invariants(const graph::Graph& g, const core::WcdsResult& result,
                       const AuditOptions& options = {});
+
+// True iff the backbone survives the concurrent crash of `crashed` with no
+// repair: every surviving node that still has a live neighbor is dominated
+// by a surviving dominator, and the weakly induced subgraph of the
+// surviving dominators is connected within every connected component of
+// g minus the crashed nodes.  Nodes isolated by the crash (their entire
+// neighborhood went down) are exempt — no backbone can serve a node with
+// no live radio link.  Pure predicate; never raises.
+[[nodiscard]] bool survives_crashes(const graph::Graph& g,
+                                    const core::WcdsResult& result,
+                                    std::span<const NodeId> crashed);
+
+// The (k,m) invariant family on its own: m-fold domination (every
+// non-dominator has >= m dominators among its neighbors) and, for k >= 2,
+// survives_crashes for every (sampled) single backbone removal.  Violations
+// raise through the check layer naming the failed sub-invariant.
+// audit_invariants dispatches here when options.resilience is enabled.
+void audit_resilience(const graph::Graph& g, const core::WcdsResult& result,
+                      const AuditOptions& options);
 
 }  // namespace wcds::check

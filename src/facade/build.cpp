@@ -5,6 +5,7 @@
 #include "check/check.h"
 #include "protocols/algorithm1_protocol.h"
 #include "protocols/algorithm2_protocol.h"
+#include "wcds/resilient.h"
 
 namespace wcds::core {
 namespace {
@@ -82,6 +83,13 @@ BuildReport build(const graph::Graph& g, const BuildOptions& options) {
       report.lists = compute_dominator_lists(g, report.mis);
       break;
     }
+  }
+
+  if (options.resilience.enabled()) {
+    obs::PhaseTimer resilience_timer(rec, "build/resilience");
+    augment_resilience(g, report.result, options.resilience, rec);
+    // The MIS is untouched by the augmentation (new members are additional
+    // dominators), so report.mis and the dominator lists stay valid.
   }
 
   if (rec != nullptr) {

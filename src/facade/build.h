@@ -81,6 +81,14 @@ struct BuildOptions {
   // WCDS_THREADS env / hardware default, 1 = inline serial).
   std::size_t threads = 0;
 
+  // Fault-tolerance target (wcds/resilient.h).  The default {1, 1} is the
+  // plain construction; {k, m} with m > 1 or k == 2 augments the built
+  // backbone to an m-fold dominating, (up to) 2-connected WCDS and audits
+  // the (k,m) invariant family alongside the plain ones.  Requires k <= 2
+  // and m >= k.  Works in every mode, including sharded protocol runs
+  // (the augmentation is per-component by construction).
+  ResilienceSpec resilience;
+
   // Observability: explicit recorder, else the ambient
   // obs::global_recorder(), else no recording.
   obs::Recorder* recorder = nullptr;

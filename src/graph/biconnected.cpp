@@ -1,0 +1,109 @@
+#include "graph/biconnected.h"
+
+#include <algorithm>
+
+#include "check/check.h"
+
+namespace wcds::graph {
+
+std::vector<NodeId> BiconnectedComponents::cut_vertices() const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < is_cut_vertex.size(); ++u) {
+    if (is_cut_vertex[u]) out.push_back(u);
+  }
+  return out;
+}
+
+BiconnectedComponents biconnected_components(const Graph& g) {
+  const std::size_t n = g.node_count();
+  BiconnectedComponents out;
+  out.is_cut_vertex.assign(n, false);
+  out.edge_block.assign(g.adjacency_slots(), BiconnectedComponents::kNoBlock);
+
+  // disc == 0 means unvisited; discovery times start at 1.
+  std::vector<std::uint32_t> disc(n, 0);
+  std::vector<std::uint32_t> low(n, 0);
+  std::uint32_t timer = 0;
+
+  struct Frame {
+    NodeId u = kInvalidNode;
+    NodeId parent = kInvalidNode;
+    std::uint32_t next = 0;          // index into u's adjacency row
+    std::uint32_t children = 0;      // DFS children (root cut-vertex rule)
+    bool parent_edge_skipped = false;  // skip the tree edge back exactly once
+  };
+  std::vector<Frame> stack;
+  // Directed edges (source, source's CSR slot) in DFS discovery order.
+  struct StackedEdge {
+    NodeId source = kInvalidNode;
+    std::size_t slot = 0;
+  };
+  std::vector<StackedEdge> edge_stack;
+
+  const auto close_block = [&](std::size_t until_slot) {
+    // Pop edges down to and including `until_slot` into a fresh block,
+    // stamping both directions of each undirected edge.
+    const std::uint32_t block = out.block_count++;
+    while (true) {
+      WCDS_DCHECK(!edge_stack.empty(),
+                  "biconnected_components: edge stack underflow");
+      const StackedEdge edge = edge_stack.back();
+      edge_stack.pop_back();
+      out.edge_block[edge.slot] = block;
+      const NodeId target =
+          g.neighbors(edge.source)[edge.slot - g.row_begin(edge.source)];
+      out.edge_block[g.edge_slot(target, edge.source)] = block;
+      if (edge.slot == until_slot) break;
+    }
+  };
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (disc[root] != 0) continue;
+    disc[root] = low[root] = ++timer;
+    stack.push_back({root, kInvalidNode, 0, 0, true});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const NodeId u = frame.u;
+      const auto row = g.neighbors(u);
+      if (frame.next < row.size()) {
+        const std::uint32_t i = frame.next++;
+        const NodeId v = row[i];
+        if (v == frame.parent && !frame.parent_edge_skipped) {
+          frame.parent_edge_skipped = true;  // no multi-edges (GraphBuilder)
+          continue;
+        }
+        const std::size_t slot = g.row_begin(u) + i;
+        if (disc[v] == 0) {
+          ++frame.children;
+          edge_stack.push_back({u, slot});
+          disc[v] = low[v] = ++timer;
+          stack.push_back({v, u, 0, 0, false});
+        } else if (disc[v] < disc[u]) {
+          // Back edge to an ancestor still on the DFS path.
+          edge_stack.push_back({u, slot});
+          low[u] = std::min(low[u], disc[v]);
+        }
+        // disc[v] > disc[u]: forward edge already handled from v's side.
+        continue;
+      }
+      stack.pop_back();
+      if (stack.empty()) continue;
+      Frame& up = stack.back();
+      const NodeId p = up.u;
+      low[p] = std::min(low[p], low[u]);
+      if (low[u] >= disc[p]) {
+        // p separates u's subtree: close the block of the tree edge (p, u).
+        const std::size_t tree_slot = g.edge_slot(p, u);
+        close_block(tree_slot);
+        if (up.parent != kInvalidNode || up.children >= 2) {
+          out.is_cut_vertex[p] = true;
+        }
+      }
+    }
+    WCDS_DCHECK(edge_stack.empty(),
+                "biconnected_components: dangling edges after root " << root);
+  }
+  return out;
+}
+
+}  // namespace wcds::graph

@@ -1,0 +1,41 @@
+// Biconnected components and cut vertices (articulation points).
+//
+// A cut vertex of G is a node whose removal increases the number of
+// connected components; the biconnected components (blocks) are the maximal
+// subgraphs with no cut vertex.  The resilience layer uses both to patch a
+// backbone toward 2-connectivity: a backbone node that is a cut vertex of
+// the weakly induced subgraph is exactly a node whose crash would split the
+// surviving backbone (src/wcds/resilient.h), and the shortest-ear
+// augmentation merges the blocks it separates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace wcds::graph {
+
+struct BiconnectedComponents {
+  static constexpr std::uint32_t kNoBlock = static_cast<std::uint32_t>(-1);
+
+  // Node-indexed: true iff removing the node disconnects its component.
+  std::vector<bool> is_cut_vertex;
+
+  // Block id per directed CSR slot (graph::Graph::edge_slot); both
+  // directions of an undirected edge carry the same id.  Every edge belongs
+  // to exactly one block, so kNoBlock never survives construction.
+  std::vector<std::uint32_t> edge_block;
+
+  std::uint32_t block_count = 0;
+
+  // Cut vertices as an ascending node list (convenience view of the mask).
+  [[nodiscard]] std::vector<NodeId> cut_vertices() const;
+};
+
+// Iterative Tarjan lowlink DFS, O(n + m); handles disconnected graphs
+// (each component is processed independently, isolated nodes own no block).
+[[nodiscard]] BiconnectedComponents biconnected_components(const Graph& g);
+
+}  // namespace wcds::graph

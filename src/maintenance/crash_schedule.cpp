@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "check/audit.h"
 #include "check/check.h"
 
 namespace wcds::maintenance {
@@ -49,6 +50,31 @@ CrashScheduleReport run_crash_schedule(DynamicWcds& wcds,
       metrics.observe("fault/repair_ms", outcome.recover_ms);
     }
     report.outcomes.push_back(outcome);
+  }
+  return report;
+}
+
+SurvivalReport run_survival_schedule(const graph::Graph& g,
+                                     const core::WcdsResult& result,
+                                     std::span<const NodeId> victims,
+                                     obs::Recorder* recorder) {
+  SurvivalReport report;
+  report.crashes = victims.size();
+  for (const NodeId victim : victims) {
+    WCDS_REQUIRE(victim < g.node_count(),
+                 "run_survival_schedule: victim " << victim << " of "
+                                                  << g.node_count());
+    const NodeId single[] = {victim};
+    const bool ok = check::survives_crashes(g, result, single);
+    if (ok) {
+      ++report.survived;
+    } else {
+      report.failed.push_back(victim);
+    }
+    if (recorder != nullptr) {
+      recorder->metrics().add(ok ? "resilience/survived_crashes"
+                                 : "resilience/failed_crashes");
+    }
   }
   return report;
 }

@@ -18,6 +18,7 @@
 #include "graph/types.h"
 #include "maintenance/dynamic_wcds.h"
 #include "obs/recorder.h"
+#include "wcds/wcds_result.h"
 
 namespace wcds::maintenance {
 
@@ -43,5 +44,27 @@ struct CrashScheduleReport {
 CrashScheduleReport run_crash_schedule(DynamicWcds& wcds,
                                        std::span<const NodeId> victims,
                                        obs::Recorder* recorder = nullptr);
+
+// Survival under the same schedule, without repair.  A (k,m)-resilient
+// backbone (wcds/resilient.h) claims it can absorb any single crash with
+// zero repair traffic; this replays `victims` — each crashing alone, the
+// sequential-outage regime of run_crash_schedule — against the *static*
+// `result` and judges each crash with check::survives_crashes.  The A9
+// experiment pairs this against run_crash_schedule on a plain maintained
+// backbone: same victims, repair_ms histogram vs survival counters.
+struct SurvivalReport {
+  std::size_t crashes = 0;
+  std::size_t survived = 0;     // absorbed with zero repair
+  std::vector<NodeId> failed;   // victims whose crash broke the backbone
+
+  [[nodiscard]] bool all_survived() const { return survived == crashes; }
+};
+
+// `recorder` (null ok) receives one `resilience/survived_crashes` or
+// `resilience/failed_crashes` count per victim.
+SurvivalReport run_survival_schedule(const graph::Graph& g,
+                                     const core::WcdsResult& result,
+                                     std::span<const NodeId> victims,
+                                     obs::Recorder* recorder = nullptr);
 
 }  // namespace wcds::maintenance

@@ -1,0 +1,234 @@
+#include "wcds/resilient.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "check/audit.h"
+#include "check/check.h"
+#include "graph/biconnected.h"
+#include "graph/subgraph.h"
+#include "obs/metrics.h"
+
+namespace wcds::core {
+namespace {
+
+// Phase 1: m-1 additional MIS-style dominator layers.  Each layer is a
+// greedy lowest-id MIS of the residual graph induced by the nodes outside
+// the backbone; the layer joins the backbone wholesale once chosen, so the
+// next layer sees a fresh residual.
+std::size_t add_mfold_layers(const graph::Graph& g, std::vector<bool>& mask,
+                             std::uint32_t m, std::vector<NodeId>& added) {
+  const std::size_t n = g.node_count();
+  std::size_t total = 0;
+  std::vector<bool> blocked(n, false);
+  std::vector<NodeId> joined;
+  for (std::uint32_t layer = 1; layer < m; ++layer) {
+    blocked.assign(n, false);
+    joined.clear();
+    for (NodeId u = 0; u < n; ++u) {
+      if (mask[u] || blocked[u]) continue;
+      joined.push_back(u);
+      for (NodeId v : g.neighbors(u)) {
+        if (!mask[v]) blocked[v] = true;
+      }
+    }
+    for (NodeId u : joined) {
+      mask[u] = true;
+      added.push_back(u);
+    }
+    total += joined.size();
+  }
+  return total;
+}
+
+// One detect-and-patch attempt for the crash of backbone node `v`: label
+// the weakly-induced fragments of the survivors in G - v, then, within
+// every component of G - v holding two or more fragments, promote the gray
+// nodes of a BFS-shortest ear between the lowest-labeled fragment and the
+// nearest other one.  Returns how many nodes were promoted (0 when v's
+// split is unmergeable, i.e. v is a cut vertex of G itself).
+std::size_t patch_crash_of(const graph::Graph& g, std::vector<bool>& mask,
+                           NodeId v, std::vector<NodeId>& added) {
+  const std::size_t n = g.node_count();
+  constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+  std::queue<NodeId> frontier;
+
+  // Fragment labels: weakly-induced reachability of the surviving
+  // dominators in G - v (gray nodes inherit the label of the fragment that
+  // reaches them; every fragment holds a dominator because every H-edge
+  // has a black endpoint).
+  const auto survivor = [&](NodeId u) { return u != v && mask[u]; };
+  std::vector<std::uint32_t> frag(n, kNone);
+  std::uint32_t frag_count = 0;
+  for (NodeId d = 0; d < n; ++d) {
+    if (!survivor(d) || frag[d] != kNone) continue;
+    const std::uint32_t label = frag_count++;
+    frag[d] = label;
+    frontier.push(d);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId w : g.neighbors(u)) {
+        if (w == v || frag[w] != kNone) continue;
+        if (!survivor(u) && !survivor(w)) continue;
+        frag[w] = label;
+        frontier.push(w);
+      }
+    }
+  }
+  if (frag_count <= 1) return 0;
+
+  // Component labels of G - v: fragments in different components are
+  // unmergeable (v cuts the radio graph itself) and stay excused.
+  std::vector<std::uint32_t> comp(n, kNone);
+  std::uint32_t comp_count = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (s == v || comp[s] != kNone) continue;
+    const std::uint32_t label = comp_count++;
+    comp[s] = label;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId w : g.neighbors(u)) {
+        if (w == v || comp[w] != kNone) continue;
+        comp[w] = label;
+        frontier.push(w);
+      }
+    }
+  }
+
+  // Lowest fragment label per component (the ear's source side).
+  std::vector<std::uint32_t> comp_frag(comp_count, kNone);
+  std::vector<bool> comp_split(comp_count, false);
+  for (NodeId u = 0; u < n; ++u) {
+    if (u == v || frag[u] == kNone) continue;
+    std::uint32_t& f = comp_frag[comp[u]];
+    if (f == kNone) {
+      f = frag[u];
+    } else if (f != frag[u]) {
+      comp_split[comp[u]] = true;
+      f = std::min(f, frag[u]);
+    }
+  }
+
+  std::size_t promoted = 0;
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> parent(n, kInvalidNode);
+  for (std::uint32_t c = 0; c < comp_count; ++c) {
+    if (!comp_split[c]) continue;
+    const std::uint32_t source = comp_frag[c];
+    seen.assign(n, false);
+    parent.assign(n, kInvalidNode);
+    while (!frontier.empty()) frontier.pop();
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == v || frag[u] != source || comp[u] != c) continue;
+      seen[u] = true;
+      frontier.push(u);
+    }
+    NodeId hit = kInvalidNode;
+    while (!frontier.empty() && hit == kInvalidNode) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (NodeId w : g.neighbors(u)) {
+        if (w == v || seen[w]) continue;
+        seen[w] = true;
+        parent[w] = u;
+        if (frag[w] != kNone && frag[w] != source) {
+          hit = w;
+          break;
+        }
+        frontier.push(w);
+      }
+    }
+    if (hit == kInvalidNode) continue;  // lone fragment was mislabeled split
+    for (NodeId x = hit; x != kInvalidNode; x = parent[x]) {
+      if (mask[x]) continue;
+      mask[x] = true;
+      added.push_back(x);
+      ++promoted;
+    }
+  }
+  return promoted;
+}
+
+}  // namespace
+
+ResilienceReport augment_resilience(const graph::Graph& g, WcdsResult& result,
+                                    const ResilienceSpec& spec,
+                                    obs::Recorder* recorder) {
+  const std::size_t n = g.node_count();
+  WCDS_REQUIRE(spec.k >= 1 && spec.k <= 2,
+               "augment_resilience: k must be 1 or 2, got " << spec.k);
+  WCDS_REQUIRE(spec.m >= spec.k,
+               "augment_resilience: m >= k required (a (2,1) backbone "
+               "cannot keep domination through a crash), got m="
+                   << spec.m << " k=" << spec.k);
+  WCDS_REQUIRE(result.mask.size() == n && result.color.size() == n,
+               "augment_resilience: result is not indexed by g's nodes");
+
+  ResilienceReport report;
+  if (!spec.enabled()) return report;
+
+  std::vector<NodeId> added;
+  report.layer_dominators = add_mfold_layers(g, result.mask, spec.m, added);
+
+  if (spec.k >= 2) {
+    // Detect-and-patch to fixpoint: cut vertices of the weakly induced
+    // subgraph are exactly the crash points that would split the surviving
+    // backbone.  Every productive round promotes at least one node, so the
+    // loop terminates; a round that promotes nothing means every remaining
+    // cut vertex is a cut vertex of G itself (excused per component).
+    while (true) {
+      const graph::Graph h = graph::weakly_induced_subgraph(g, result.mask);
+      const auto blocks = graph::biconnected_components(h);
+      std::size_t promoted = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (!result.mask[v] || !blocks.is_cut_vertex[v]) continue;
+        promoted += patch_crash_of(g, result.mask, v, added);
+      }
+      if (promoted == 0) break;
+      report.ear_dominators += promoted;
+      ++report.ear_rounds;
+    }
+  }
+
+  // Fold the new members into the result record: they are additional
+  // dominators (S is untouched), colored black, with the dominator list
+  // rebuilt ascending from the mask.
+  for (NodeId u : added) {
+    result.color[u] = NodeColor::kBlack;
+    result.additional_dominators.push_back(u);
+  }
+  std::sort(result.additional_dominators.begin(),
+            result.additional_dominators.end());
+  result.dominators.clear();
+  for (NodeId u = 0; u < n; ++u) {
+    if (result.mask[u]) result.dominators.push_back(u);
+  }
+
+  if (recorder != nullptr) {
+    auto& metrics = recorder->metrics();
+    metrics.add("resilience/augments");
+    metrics.observe("resilience/layer_dominators",
+                    static_cast<double>(report.layer_dominators));
+    metrics.observe("resilience/ear_dominators",
+                    static_cast<double>(report.ear_dominators));
+    metrics.observe("resilience/ear_rounds",
+                    static_cast<double>(report.ear_rounds));
+    metrics.observe("resilience/backbone_size",
+                    static_cast<double>(result.size()));
+  }
+
+  // Debug/test tripwire, mirroring algorithm2's: the augmented backbone
+  // must satisfy both the plain families and the new (k,m) invariants.
+  if (check::audits_enabled()) {
+    check::AuditOptions options;
+    options.resilience = spec;
+    check::audit_invariants(g, result, options);
+  }
+  return report;
+}
+
+}  // namespace wcds::core

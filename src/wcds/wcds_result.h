@@ -13,6 +13,23 @@ namespace wcds::core {
 // White only appears mid-construction (or for isolated analysis states).
 enum class NodeColor : std::uint8_t { kWhite, kGray, kBlack };
 
+// Fault-tolerance target for a backbone: survive any k-1 concurrent
+// backbone crashes with no repair traffic.  `m` is the domination
+// multiplicity (every non-dominator keeps >= m dominators in its
+// neighborhood), `k` the connectivity target of the weakly induced
+// subgraph under dominator removal.  {1, 1} is the plain WCDS; the
+// construction lives in wcds/resilient.h and the invariants in
+// check::audit_resilience.  Only k <= 2 and m >= k are constructible.
+struct ResilienceSpec {
+  std::uint32_t k = 1;
+  std::uint32_t m = 1;
+
+  [[nodiscard]] constexpr bool enabled() const { return k > 1 || m > 1; }
+
+  friend constexpr bool operator==(const ResilienceSpec&,
+                                   const ResilienceSpec&) = default;
+};
+
 // A dominator's entry for a dominator reachable in exactly two hops: `dom`
 // via the intermediate `via` (the paper's 2HopDomList entry).
 struct TwoHopEntry {

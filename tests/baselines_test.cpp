@@ -4,6 +4,7 @@
 #include "baselines/greedy_cds.h"
 #include "baselines/greedy_wcds.h"
 #include "baselines/mis_tree_cds.h"
+#include "facade/build.h"
 #include "mis/mis.h"
 #include "test_util.h"
 #include "wcds/verify.h"
@@ -180,6 +181,40 @@ TEST(Bounds, UdgMwcdsLowerBound) {
   EXPECT_EQ(udg_mwcds_lower_bound(5), 1u);
   EXPECT_EQ(udg_mwcds_lower_bound(6), 2u);
   EXPECT_EQ(udg_mwcds_lower_bound(11), 3u);
+}
+
+TEST(Bounds, UdgMwcdsLowerBoundMFold) {
+  // opt_m >= ceil(m * |MIS| / 5): each MIS node needs m coverage incidences
+  // and every dominator supplies at most 5 of them.
+  EXPECT_EQ(udg_mwcds_lower_bound(0, 3), 0u);
+  EXPECT_EQ(udg_mwcds_lower_bound(1, 2), 1u);
+  EXPECT_EQ(udg_mwcds_lower_bound(5, 2), 2u);   // ceil(10/5)
+  EXPECT_EQ(udg_mwcds_lower_bound(6, 2), 3u);   // ceil(12/5)
+  EXPECT_EQ(udg_mwcds_lower_bound(11, 3), 7u);  // ceil(33/5)
+  // m = 1 reproduces the plain bound; the bound grows monotonically in m.
+  for (std::size_t mis = 0; mis <= 12; ++mis) {
+    EXPECT_EQ(udg_mwcds_lower_bound(mis, 1), udg_mwcds_lower_bound(mis));
+    for (std::size_t m = 2; m <= 4; ++m) {
+      EXPECT_GE(udg_mwcds_lower_bound(mis, m),
+                udg_mwcds_lower_bound(mis, m - 1));
+    }
+  }
+}
+
+TEST(Bounds, MFoldLowerBoundNeverExceedsResilientConstruction) {
+  // The (1,m) construction is an m-fold dominating WCDS, so its size is an
+  // upper bound witness for the m-fold lower bound.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto inst = testing::connected_udg(60, 8.0, seed);
+    for (const std::uint32_t m : {2u, 3u}) {
+      core::BuildOptions options;
+      options.resilience = core::ResilienceSpec{1, m};
+      const auto report = core::build(inst.g, options);
+      EXPECT_LE(udg_mwcds_lower_bound(report.mis.size(), m),
+                report.result.size())
+          << "seed " << seed << " m " << m;
+    }
+  }
 }
 
 TEST(Bounds, LowerBoundsNeverExceedExact) {

@@ -28,6 +28,7 @@
 #include "fault/injector.h"
 #include "fault/plan.h"
 #include "maintenance/crash_schedule.h"
+#include "geom/rng.h"
 #include "geom/workload.h"
 #include "graph/graph.h"
 #include "maintenance/dynamic_wcds.h"
@@ -430,6 +431,134 @@ TEST(FaultSoak, SeedSweep) {
 
   if (!failures.empty()) {
     std::ofstream out(out_path);
+    for (const auto& line : failures) out << line << "\n";
+  }
+  EXPECT_TRUE(failures.empty())
+      << failures.size() << " failing combinations written to " << out_path;
+}
+
+// --- Scaled nightly soak (WCDS_SCALED_SOAK=1) --------------------------------
+
+// Mobility x loss x crash matrix over a 16-cluster fleet at n >= 10^4,
+// executed with the component-sharded runner — the scaled companion of
+// FaultSoak.SeedSweep.  One matrix cell per job when WCDS_SCALED_SOAK_CELL
+// is set (the nightly workflow fans the cells out), all cells otherwise.
+// Failing combinations (with their reproducer seeds) are appended to
+// WCDS_SCALED_SOAK_OUT for the artifact upload.
+TEST(ScaledSoak, FleetMatrix) {
+  if (std::getenv("WCDS_SCALED_SOAK") == nullptr) {
+    GTEST_SKIP() << "set WCDS_SCALED_SOAK=1 to run the scaled fleet sweep";
+  }
+  const char* out_env = std::getenv("WCDS_SCALED_SOAK_OUT");
+  const std::string out_path =
+      out_env != nullptr ? out_env : "scaled_soak_failures.txt";
+
+  struct Cell {
+    double jitter;   // mobility: per-node uniform displacement before build
+    double drop;     // loss rate
+    NodeId crashes;  // crash/recover windows sprinkled over the fleet
+  };
+  std::vector<Cell> cells;
+  for (const double jitter : {0.0, 0.05}) {
+    for (const double drop : {0.1, 0.3}) {
+      for (const NodeId crashes : {NodeId{0}, NodeId{8}}) {
+        cells.push_back({jitter, drop, crashes});
+      }
+    }
+  }
+  const char* cell_env = std::getenv("WCDS_SCALED_SOAK_CELL");
+  if (cell_env != nullptr) {
+    const std::size_t index = std::stoul(cell_env);
+    ASSERT_LT(index, cells.size()) << "WCDS_SCALED_SOAK_CELL out of range";
+    cells = {cells[index]};
+  }
+
+  constexpr std::size_t kClusters = 16;
+  constexpr std::uint32_t kPerCluster = 640;  // 16 x 640 = 10240 nodes
+  std::vector<std::string> failures;
+  for (const Cell& cell : cells) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      // The A8 fleet shape: clusters separated far beyond the unit radius,
+      // node ids interleaved round-robin so components are non-contiguous
+      // in id space.  Mobility is a pre-build position jitter: each node
+      // drifts by up to `jitter` in x and y from its seeded deployment.
+      std::vector<std::vector<geom::Point>> parts(kClusters);
+      geom::Xoshiro256ss drift(0xA950AC00 + seed);
+      for (std::size_t i = 0; i < kClusters; ++i) {
+        auto part =
+            wcds::testing::connected_udg(kPerCluster, 10.0, seed + 101 * i);
+        for (auto& p : part.points) {
+          p.x += 1000.0 * static_cast<double>(i) +
+                 drift.next_double(-cell.jitter, cell.jitter);
+          p.y += drift.next_double(-cell.jitter, cell.jitter);
+        }
+        parts[i] = std::move(part.points);
+      }
+      std::vector<geom::Point> points;
+      for (std::uint32_t j = 0; j < kPerCluster; ++j) {
+        for (std::size_t i = 0; i < kClusters; ++i) {
+          points.push_back(parts[i][j]);
+        }
+      }
+      const auto g = udg::build_udg(points);
+      const auto n = static_cast<NodeId>(g.node_count());
+
+      fault::Plan plan = fault::Plan::chaos(cell.drop, 0.05, 3, seed);
+      for (NodeId c = 0; c < cell.crashes; ++c) {
+        plan.crash(static_cast<NodeId>(((c + 1) * n) / 11 % n), 5, 50);
+      }
+
+      const auto tag = "jitter=" + std::to_string(cell.jitter) +
+                       " drop=" + std::to_string(cell.drop) +
+                       " crashes=" + std::to_string(cell.crashes) +
+                       " seed=" + std::to_string(seed);
+      for (const bool alg1 : {true, false}) {
+        const auto arm = std::string("alg") + (alg1 ? "1" : "2") + " " + tag;
+        try {
+          const auto stats =
+              alg1 ? protocols::run_algorithm1(
+                         g, sim::DelayModel::unit(), nullptr,
+                         sim::QueuePolicy::kFlat, &plan,
+                         sim::ExecutionPolicy::kComponentSharded)
+                         .stats
+                   : protocols::run_algorithm2(
+                         g, sim::DelayModel::unit(), nullptr,
+                         sim::QueuePolicy::kFlat, &plan,
+                         sim::ExecutionPolicy::kComponentSharded)
+                         .stats;
+          if (!stats.quiescent) failures.push_back(arm + " (not quiescent)");
+        } catch (const std::exception& e) {
+          failures.push_back(arm + " (" + e.what() + ")");
+        }
+      }
+
+      // The resilient arm A9 relies on: a fault-free sharded (2,2) build
+      // over the same fleet must absorb the cell's crash set with zero
+      // repair.
+      try {
+        core::BuildOptions options;
+        options.algorithm = core::BuildAlgorithm::kAlgorithm2Protocol;
+        options.resilience = core::ResilienceSpec{2, 2};
+        const auto report = core::build(g, options);
+        std::vector<NodeId> victims;
+        for (NodeId c = 0; c < std::max(cell.crashes, NodeId{4}); ++c) {
+          victims.push_back(static_cast<NodeId>(((c + 1) * n) / 11 % n));
+        }
+        const auto survival =
+            maintenance::run_survival_schedule(g, report.result, victims);
+        if (!survival.all_survived()) {
+          failures.push_back("resilient " + tag + " (" +
+                             std::to_string(survival.failed.size()) +
+                             " crashes broke the (2,2) backbone)");
+        }
+      } catch (const std::exception& e) {
+        failures.push_back("resilient " + tag + " (" + e.what() + ")");
+      }
+    }
+  }
+
+  if (!failures.empty()) {
+    std::ofstream out(out_path, std::ios::app);
     for (const auto& line : failures) out << line << "\n";
   }
   EXPECT_TRUE(failures.empty())

@@ -52,6 +52,7 @@ TIMING_GAUGE_PREFIXES = (
     "a7/serve_ms/",
     "a8/global_ms/",
     "a8/sharded_ms/",
+    "a9/build_ms/",
 )
 PHASE_HISTOGRAM_PREFIX = "phase_ms/"
 
